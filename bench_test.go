@@ -1,0 +1,420 @@
+package hybridtlb
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 5), plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark runs a scaled version of its
+// experiment per iteration and reports the experiment's headline quantity
+// through b.ReportMetric, so `go test -bench=. -benchmem` both times the
+// harness and regenerates the result shapes. The full-scale rows are
+// printed by cmd/experiments.
+
+import (
+	"io"
+	"testing"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/report"
+	"hybridtlb/internal/sim"
+	"hybridtlb/internal/workload"
+)
+
+// benchOpts keeps one benchmark iteration around a second.
+func benchOpts() report.Options {
+	return report.Options{
+		Accesses:        50_000,
+		Seed:            42,
+		Workloads:       []string{"gups", "omnetpp", "canneal"},
+		SkipStaticIdeal: true,
+	}
+}
+
+func benchCfg(b *testing.B, wl string, sc mapping.Scenario, scheme mmu.Scheme) sim.Config {
+	b.Helper()
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim.Config{
+		Scheme:         scheme,
+		Workload:       spec,
+		Scenario:       sc,
+		FootprintPages: 1 << 16,
+		Accesses:       100_000,
+		Seed:           42,
+		Pressure:       0.15,
+	}
+}
+
+// BenchmarkFig1ChunkCDF regenerates Figure 1: chunk-size CDFs of the
+// demand mapping under increasing background pressure.
+func BenchmarkFig1ChunkCDF(b *testing.B) {
+	var smallFrac float64
+	for i := 0; i < b.N; i++ {
+		series, err := report.Fig1Data(1<<16, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := series[len(series)-1]
+		for _, pt := range last.CDF {
+			if pt.ChunkPages <= 16 {
+				smallFrac = pt.CumFraction
+			}
+		}
+	}
+	b.ReportMetric(smallFrac, "highPressureSmallChunkFrac")
+}
+
+// BenchmarkFig2PriorSchemes regenerates the motivation figure: relative
+// misses of cluster and RMM at low vs high contiguity, exposing the
+// crossover the paper builds on.
+func BenchmarkFig2PriorSchemes(b *testing.B) {
+	var clusterLow, rmmLow, rmmHigh float64
+	for i := 0; i < b.N; i++ {
+		for _, sc := range []mapping.Scenario{mapping.Low, mapping.High} {
+			base, err := sim.Run(benchCfg(b, "omnetpp", sc, mmu.Base))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range []mmu.Scheme{mmu.Cluster, mmu.RMM} {
+				res, err := sim.Run(benchCfg(b, "omnetpp", sc, s))
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch {
+				case sc == mapping.Low && s == mmu.Cluster:
+					clusterLow = res.RelativeMisses(base)
+				case sc == mapping.Low && s == mmu.RMM:
+					rmmLow = res.RelativeMisses(base)
+				case sc == mapping.High && s == mmu.RMM:
+					rmmHigh = res.RelativeMisses(base)
+				}
+			}
+		}
+	}
+	b.ReportMetric(clusterLow, "clusterLow%")
+	b.ReportMetric(rmmLow, "rmmLow%")
+	b.ReportMetric(rmmHigh, "rmmHigh%")
+}
+
+// benchMissFigure runs one scenario's scheme matrix and reports the
+// dynamic-anchor mean.
+func benchMissFigure(b *testing.B, sc mapping.Scenario) {
+	b.Helper()
+	var dyn, bestPrior float64
+	for i := 0; i < b.N; i++ {
+		fig, err := report.MissesByScenario(sc, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dyn = fig.Mean("dynamic")
+		bestPrior = 1e18
+		for _, col := range []string{"thp", "cluster", "cl.2mb", "rmm"} {
+			if m := fig.Mean(col); m < bestPrior {
+				bestPrior = m
+			}
+		}
+	}
+	b.ReportMetric(dyn, "dynamicMean%")
+	b.ReportMetric(bestPrior, "bestPriorMean%")
+}
+
+// BenchmarkFig7Demand regenerates Figure 7 (demand paging misses).
+func BenchmarkFig7Demand(b *testing.B) { benchMissFigure(b, mapping.Demand) }
+
+// BenchmarkFig8Medium regenerates Figure 8 (medium contiguity misses).
+func BenchmarkFig8Medium(b *testing.B) { benchMissFigure(b, mapping.Medium) }
+
+// BenchmarkFig9AllMappings regenerates Figure 9 (mean misses over all six
+// mapping scenarios).
+func BenchmarkFig9AllMappings(b *testing.B) {
+	var grand float64
+	for i := 0; i < b.N; i++ {
+		figs, err := report.Fig9Data(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		grand = 0
+		for _, fig := range figs {
+			grand += fig.Mean("dynamic")
+		}
+		grand /= float64(len(figs))
+	}
+	b.ReportMetric(grand, "dynamicGrandMean%")
+}
+
+// BenchmarkTab5L2Breakdown regenerates Table 5: the anchor scheme's L2
+// regular-hit / anchor-hit / miss split.
+func BenchmarkTab5L2Breakdown(b *testing.B) {
+	var anchorHit float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Tab5Data(mapping.Medium, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		anchorHit = 0
+		for _, r := range rows {
+			anchorHit += r.AnchorHit
+		}
+		anchorHit /= float64(len(rows))
+	}
+	b.ReportMetric(anchorHit*100, "anchorHit%")
+}
+
+// BenchmarkTab6DistanceSelection regenerates Table 6: Algorithm 1's
+// selected distances across mappings.
+func BenchmarkTab6DistanceSelection(b *testing.B) {
+	var lowDist, maxDist float64
+	for i := 0; i < b.N; i++ {
+		data, err := report.Tab6Data(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, per := range data {
+			lowDist = float64(per[mapping.Low])
+			maxDist = float64(per[mapping.Max])
+			break
+		}
+	}
+	b.ReportMetric(lowDist, "lowDist")
+	b.ReportMetric(maxDist, "maxDist")
+}
+
+// benchCPI runs a CPI figure and reports the dynamic column's mean total.
+func benchCPI(b *testing.B, sc mapping.Scenario) {
+	b.Helper()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		data, _, err := report.CPIFigure(sc, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for _, per := range data {
+			total += per["dynamic"].Total()
+		}
+		total /= float64(len(data))
+	}
+	b.ReportMetric(total, "dynamicCPI")
+}
+
+// BenchmarkFig10CPIDemand regenerates Figure 10 (translation CPI, demand).
+func BenchmarkFig10CPIDemand(b *testing.B) { benchCPI(b, mapping.Demand) }
+
+// BenchmarkFig11CPIMedium regenerates Figure 11 (translation CPI, medium).
+func BenchmarkFig11CPIMedium(b *testing.B) { benchCPI(b, mapping.Medium) }
+
+// BenchmarkDistanceChangeSweep regenerates the Section 3.3 experiment: the
+// cost of re-anchoring a mapping at distances 8 / 64 / 512.
+func BenchmarkDistanceChangeSweep(b *testing.B) {
+	var d8ms float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.SweepData(1 << 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d8ms = rows[0].Millis
+	}
+	b.ReportMetric(d8ms, "d8SweepMs(1GiB)")
+}
+
+// BenchmarkAblationFixedDistance compares the dynamic selection against a
+// deliberately wrong fixed distance, quantifying what Algorithm 1 buys.
+func BenchmarkAblationFixedDistance(b *testing.B) {
+	var dynMisses, fixedMisses float64
+	for i := 0; i < b.N; i++ {
+		dyn, err := sim.Run(benchCfg(b, "omnetpp", mapping.Max, mmu.Anchor))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchCfg(b, "omnetpp", mapping.Max, mmu.Anchor)
+		cfg.FixedDistance = 4 // far too fine for a fully contiguous mapping
+		fixed, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dynMisses = float64(dyn.Stats.Misses())
+		fixedMisses = float64(fixed.Stats.Misses())
+	}
+	b.ReportMetric(dynMisses, "dynamicMisses")
+	b.ReportMetric(fixedMisses, "fixed4Misses")
+}
+
+// BenchmarkAblationCostModel compares the three distance-selection cost
+// models by the misses they actually produce: the entry-count default
+// (reproduces Table 6), the coverage-weighted arithmetic written in the
+// Algorithm 1 listing, and this repository's capacity-aware extension.
+func BenchmarkAblationCostModel(b *testing.B) {
+	var entry, weighted, capac float64
+	for i := 0; i < b.N; i++ {
+		for _, m := range []core.CostModel{core.CostEntryCount, core.CostCoverageWeighted, core.CostCapacityAware} {
+			cfg := benchCfg(b, "canneal", mapping.Medium, mmu.Anchor)
+			cfg.CostModel = m
+			res, err := sim.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch m {
+			case core.CostEntryCount:
+				entry = float64(res.Stats.Misses())
+			case core.CostCoverageWeighted:
+				weighted = float64(res.Stats.Misses())
+			case core.CostCapacityAware:
+				capac = float64(res.Stats.Misses())
+			}
+		}
+	}
+	b.ReportMetric(entry, "entryCountMisses")
+	b.ReportMetric(weighted, "coverageWeightedMisses")
+	b.ReportMetric(capac, "capacityAwareMisses")
+}
+
+// BenchmarkExtensionMultiRegion measures the Section 4.2 multi-region
+// anchors against the single process-wide distance on the medium mapping.
+func BenchmarkExtensionMultiRegion(b *testing.B) {
+	var single, multi float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(b, "canneal", mapping.Medium, mmu.Anchor)
+		s, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.MultiRegionAnchors = true
+		m, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		single = float64(s.Stats.Misses())
+		multi = float64(m.Stats.Misses())
+	}
+	b.ReportMetric(single, "singleDistMisses")
+	b.ReportMetric(multi, "multiRegionMisses")
+}
+
+// BenchmarkAblationSharedVsPartitioned contrasts coalesced entries in a
+// statically partitioned L2 (the cluster scheme) against the same
+// coalescing logic sharing one L2 (CoLT) — the partitioning cost the
+// paper calls out for cactusADM.
+func BenchmarkAblationSharedVsPartitioned(b *testing.B) {
+	var partitioned, shared float64
+	for i := 0; i < b.N; i++ {
+		p, err := sim.Run(benchCfg(b, "omnetpp", mapping.Low, mmu.Cluster))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.Run(benchCfg(b, "omnetpp", mapping.Low, mmu.CoLT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		partitioned = float64(p.Stats.Misses())
+		shared = float64(s.Stats.Misses())
+	}
+	b.ReportMetric(partitioned, "partitionedMisses")
+	b.ReportMetric(shared, "sharedMisses")
+}
+
+// BenchmarkAblationParallelAnchorLookup models making the anchor probe a
+// parallel (same-cycle) L2 access instead of a serialized second access:
+// the 8-cycle coalesced latency drops to the regular 7.
+func BenchmarkAblationParallelAnchorLookup(b *testing.B) {
+	var serialCPI, parallelCPI float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(b, "omnetpp", mapping.Medium, mmu.Anchor)
+		serial, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hw := mmu.DefaultConfig()
+		hw.CoalescedHitCycles = hw.L2HitCycles
+		cfg.HW = hw
+		parallel, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialCPI = serial.CPI(mmu.DefaultConfig()).Total()
+		parallelCPI = parallel.CPI(hw).Total()
+	}
+	b.ReportMetric(serialCPI, "serialCPI")
+	b.ReportMetric(parallelCPI, "parallelCPI")
+}
+
+// BenchmarkAblationEpochLength measures how the periodic re-selection
+// epoch affects a run with a stable mapping (the check is nearly free
+// because the selection never changes — the paper's stability claim).
+func BenchmarkAblationEpochLength(b *testing.B) {
+	for _, epoch := range []uint64{100_000, 10_000_000} {
+		name := "epoch=100k"
+		if epoch == 10_000_000 {
+			name = "epoch=10M"
+		}
+		b.Run(name, func(b *testing.B) {
+			var changes float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(b, "omnetpp", mapping.Medium, mmu.Anchor)
+				cfg.EpochInstructions = epoch
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				changes = float64(res.DistanceChanges)
+			}
+			b.ReportMetric(changes, "distanceChanges")
+		})
+	}
+}
+
+// BenchmarkAblationDetailedWalk contrasts the paper's flat 50-cycle walk
+// latency (Table 3) with the detailed cache+PWC walk model, reporting
+// each configuration's translation CPI — evidence for (or against) the
+// flat-latency assumption.
+func BenchmarkAblationDetailedWalk(b *testing.B) {
+	var flatCPI, detailedCPI float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(b, "canneal", mapping.Medium, mmu.Anchor)
+		flat, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.DetailedWalk = true
+		det, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flatCPI = float64(flat.Stats.Cycles) / float64(flat.Instructions)
+		detailedCPI = float64(det.Stats.Cycles) / float64(det.Instructions)
+	}
+	b.ReportMetric(flatCPI, "flatWalkCPI")
+	b.ReportMetric(detailedCPI, "detailedWalkCPI")
+}
+
+// BenchmarkTranslatePublicAPI measures raw translation throughput through
+// the public System API (anchor hits on a warm TLB).
+func BenchmarkTranslatePublicAPI(b *testing.B) {
+	sys, err := NewSystem(SchemeAnchor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Map([]Chunk{{VirtPage: 0x10000, PhysPage: 1 << 24, Pages: 1 << 16}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sys.TranslatePage(0x10000 + uint64(i)&0xFFFF); !ok {
+			b.Fatal("fault")
+		}
+	}
+}
+
+// BenchmarkExperimentHarness times the full report pipeline end to end on
+// a small matrix (what cmd/experiments does at scale).
+func BenchmarkExperimentHarness(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"omnetpp"}
+	opts.Accesses = 20_000
+	for i := 0; i < b.N; i++ {
+		if err := report.Run("fig2", io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Section 5) from the simulator.
+//
+// Examples:
+//
+//	experiments -exp fig7               # Figure 7 (demand paging misses)
+//	experiments -exp all -out eval.txt  # everything, into a file
+//	experiments -exp fig9 -accesses 500000 -workloads gups,mcf,omnetpp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hybridtlb/internal/report"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: all, "+strings.Join(report.Names(), ", "))
+		accesses   = flag.Uint64("accesses", 200_000, "measured accesses per simulation run")
+		seed       = flag.Int64("seed", 42, "random seed")
+		workloads  = flag.String("workloads", "", "comma-separated benchmark subset (default: full suite)")
+		skipStatic = flag.Bool("skip-static-ideal", false, "drop the exhaustive static-ideal column (16x cheaper)")
+		outPath    = flag.String("out", "", "write output to a file instead of stdout")
+		asJSON     = flag.Bool("json", false, "emit the figure matrices as JSON instead of tables (ignores -exp)")
+	)
+	flag.Parse()
+
+	opts := report.Options{
+		Accesses:        *accesses,
+		Seed:            *seed,
+		SkipStaticIdeal: *skipStatic,
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	if *asJSON {
+		if err := report.WriteJSON(w, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	} else if err := report.Run(*exp, w, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %s completed in %v\n", *exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,95 @@
+// Command mapgen generates a mapping scenario and inspects its
+// contiguity: chunk counts, the chunk-size histogram and CDF (Figure 1's
+// quantity), and the anchor distance Algorithm 1 selects for it.
+//
+// Example:
+//
+//	mapgen -scenario demand -footprint 262144 -pressure 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mem"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "demand", "mapping scenario: "+strings.Join(scenarioNames(), ", "))
+		footprint = flag.Uint64("footprint", 1<<17, "footprint in 4KiB pages")
+		seed      = flag.Int64("seed", 42, "random seed")
+		pressure  = flag.Float64("pressure", 0, "background fragmentation in [0,1]")
+		costs     = flag.Bool("costs", false, "print Algorithm 1's per-distance costs")
+		chunks    = flag.Bool("chunks", false, "list every chunk")
+		fine      = flag.Bool("fine", false, "fine-grained allocator behaviour (omnetpp-like)")
+	)
+	flag.Parse()
+
+	sc, err := mapping.ParseScenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapgen:", err)
+		os.Exit(1)
+	}
+	cl, err := mapping.Generate(sc, mapping.Config{
+		FootprintPages: *footprint,
+		Seed:           *seed,
+		Pressure:       *pressure,
+		FineGrained:    *fine,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapgen:", err)
+		os.Exit(1)
+	}
+
+	hist := mem.BuildHistogram(cl)
+	fmt.Printf("scenario   %s (pressure %.2f, seed %d)\n", sc, *pressure, *seed)
+	fmt.Printf("footprint  %s in %d chunks (mean %.1f pages/chunk)\n",
+		mem.HumanBytes(*footprint*mem.Size4K), len(cl), float64(*footprint)/float64(len(cl)))
+
+	fmt.Println("\nchunk-size CDF (fraction of pages in chunks <= size):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	cdf := hist.CDF()
+	for _, bound := range []uint64{1, 4, 16, 64, 256, 512, 2048, 8192, 65536} {
+		frac := 0.0
+		for _, pt := range cdf {
+			if pt.ChunkPages > bound {
+				break
+			}
+			frac = pt.CumFraction
+		}
+		fmt.Fprintf(tw, "<= %d pages\t%.3f\n", bound, frac)
+	}
+	tw.Flush()
+
+	best, perDistance := core.SelectDistance(hist)
+	fmt.Printf("\nAlgorithm 1 selects anchor distance %d (%s)\n", best, mem.HumanBytes(best*mem.Size4K))
+	if *costs {
+		fmt.Println("\nper-distance cost (hypothetical TLB entries):")
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "distance\tanchors\t2MB pages\t4KB pages\tcost")
+		for _, c := range perDistance {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f\n", c.Distance, c.AnchorEntries, c.LargePages, c.SmallPages, c.Cost)
+		}
+		tw.Flush()
+	}
+	if *chunks {
+		fmt.Println("\nchunks:")
+		for _, c := range cl {
+			fmt.Printf("  %s (%d pages)\n", c, c.Pages)
+		}
+	}
+}
+
+func scenarioNames() []string {
+	var out []string
+	for _, s := range mapping.All() {
+		out = append(out, s.String())
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Command tracegen generates a benchmark's memory access trace, writes it
+// in the repository's compact binary format, and summarizes traces read
+// back — the record/replay half of the simulator.
+//
+// Examples:
+//
+//	tracegen -workload mcf -accesses 1000000 -o mcf.trc
+//	tracegen -summarize mcf.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/trace"
+	"hybridtlb/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "gups", "benchmark: "+strings.Join(workload.Names(), ", "))
+		accesses  = flag.Uint64("accesses", 1_000_000, "trace length in memory accesses")
+		footprint = flag.Uint64("footprint", 0, "footprint in 4KiB pages (0: workload default)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		base      = flag.Uint64("base", 0x10000, "first virtual page of the footprint")
+		out       = flag.String("o", "", "output trace file (default: stdout summary only)")
+		summarize = flag.String("summarize", "", "read a trace file back and summarize it")
+		reuse     = flag.Bool("reuse", false, "include the page reuse-distance histogram in summaries")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summary(*summarize, *reuse); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	gen := spec.NewGenerator(mem.VPN(*base), *footprint, *accesses, *seed)
+
+	if *out == "" {
+		if *reuse {
+			fmt.Printf("trace         %s\n", spec.Name)
+			trace.Analyze(gen).Print(os.Stdout)
+			return
+		}
+		describe(os.Stdout, spec.Name, gen)
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("wrote %d records (%d bytes, %.2f B/record) to %s\n",
+		w.Count(), info.Size(), float64(info.Size())/float64(w.Count()), *out)
+}
+
+func summary(path string, reuse bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	if reuse {
+		fmt.Printf("trace         %s\n", path)
+		trace.Analyze(r).Print(os.Stdout)
+	} else {
+		describe(os.Stdout, path, r)
+	}
+	return r.Err()
+}
+
+// describe drains a source and prints aggregate statistics.
+func describe(w *os.File, label string, src trace.Source) {
+	var records, instrs, writes uint64
+	pages := make(map[mem.VPN]struct{})
+	minV, maxV := mem.VPN(^uint64(0)), mem.VPN(0)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		records++
+		instrs += uint64(rec.Instrs)
+		if rec.Write {
+			writes++
+		}
+		pages[rec.VPN] = struct{}{}
+		if rec.VPN < minV {
+			minV = rec.VPN
+		}
+		if rec.VPN > maxV {
+			maxV = rec.VPN
+		}
+	}
+	fmt.Fprintf(w, "trace         %s\n", label)
+	fmt.Fprintf(w, "records       %d\n", records)
+	fmt.Fprintf(w, "instructions  %d (%.2f per access)\n", instrs, float64(instrs)/float64(records))
+	fmt.Fprintf(w, "writes        %d (%.1f%%)\n", writes, 100*float64(writes)/float64(records))
+	fmt.Fprintf(w, "distinct pgs  %d\n", len(pages))
+	if records > 0 {
+		fmt.Fprintf(w, "VPN range     [%#x, %#x]\n", uint64(minV), uint64(maxV))
+	}
+}

@@ -1,0 +1,137 @@
+package hybridtlb_test
+
+// End-to-end tests for the command-line tools: each binary is built once
+// and driven with small arguments, asserting its output shape and its
+// flag plumbing (including the record/replay round trip between tracegen
+// and tlbsim).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/<name> binary into the test's temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdTLBSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd builds skipped in -short")
+	}
+	bin := buildTool(t, "tlbsim")
+	out := run(t, bin,
+		"-scheme", "anchor", "-workload", "omnetpp", "-mapping", "medium",
+		"-footprint", "8192", "-accesses", "20000")
+	for _, want := range []string{"scheme", "anchor", "TLB misses", "transl. CPI", "L2 breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Static-ideal and extension flags plumb through.
+	out = run(t, bin,
+		"-scheme", "anchor", "-workload", "omnetpp", "-mapping", "low",
+		"-footprint", "4096", "-accesses", "10000", "-static-ideal")
+	if !strings.Contains(out, "anchor dist.") {
+		t.Errorf("static-ideal output missing distance:\n%s", out)
+	}
+	out = run(t, bin,
+		"-scheme", "anchor", "-workload", "omnetpp", "-mapping", "medium",
+		"-footprint", "4096", "-accesses", "10000",
+		"-cost-model", "capacity-aware", "-multi-region")
+	if !strings.Contains(out, "TLB misses") {
+		t.Errorf("extension flags broke tlbsim:\n%s", out)
+	}
+	// Bad flags exit non-zero.
+	if _, err := exec.Command(bin, "-scheme", "bogus").CombinedOutput(); err == nil {
+		t.Error("bogus scheme exited zero")
+	}
+}
+
+func TestCmdTracegenAndReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd builds skipped in -short")
+	}
+	tracegen := buildTool(t, "tracegen")
+	tlbsim := buildTool(t, "tlbsim")
+	trc := filepath.Join(t.TempDir(), "w.trc")
+
+	out := run(t, tracegen, "-workload", "canneal", "-accesses", "30000", "-footprint", "8192", "-o", trc)
+	if !strings.Contains(out, "wrote 30000 records") {
+		t.Fatalf("tracegen output: %s", out)
+	}
+	if fi, err := os.Stat(trc); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	// Summarize reads it back.
+	out = run(t, tracegen, "-summarize", trc)
+	if !strings.Contains(out, "records       30000") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+	// Replay through tlbsim.
+	out = run(t, tlbsim,
+		"-scheme", "anchor", "-workload", "canneal", "-mapping", "medium",
+		"-footprint", "8192", "-accesses", "25000", "-trace", trc)
+	if !strings.Contains(out, "accesses      25000") {
+		t.Errorf("replay output:\n%s", out)
+	}
+}
+
+func TestCmdMapgen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd builds skipped in -short")
+	}
+	bin := buildTool(t, "mapgen")
+	out := run(t, bin, "-scenario", "medium", "-footprint", "16384", "-costs")
+	for _, want := range []string{"chunk-size CDF", "Algorithm 1 selects", "per-distance cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, bin, "-scenario", "demand", "-footprint", "16384", "-pressure", "0.5", "-fine")
+	if !strings.Contains(out, "Algorithm 1 selects anchor distance 4 ") {
+		t.Errorf("fine-grained demand should select distance 4:\n%s", out)
+	}
+}
+
+func TestCmdExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd builds skipped in -short")
+	}
+	bin := buildTool(t, "experiments")
+	outFile := filepath.Join(t.TempDir(), "eval.txt")
+	run(t, bin, "-exp", "tab4", "-out", outFile)
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Table 4") {
+		t.Errorf("experiments output:\n%s", data)
+	}
+	out := run(t, bin, "-exp", "fig2", "-workloads", "omnetpp", "-accesses", "10000")
+	if !strings.Contains(out, "Figure 2") {
+		t.Errorf("fig2 output:\n%s", out)
+	}
+	if _, err := exec.Command(bin, "-exp", "bogus").CombinedOutput(); err == nil {
+		t.Error("bogus experiment exited zero")
+	}
+}

@@ -1,0 +1,64 @@
+// Distance tuning: the dynamic anchor distance selection (Algorithm 1) in
+// action. The example sweeps every fixed anchor distance for one workload
+// and mapping, measures real miss rates, and shows where the dynamic
+// selection lands relative to the measured optimum — the comparison
+// behind the paper's "dynamic" vs "static ideal" configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hybridtlb"
+)
+
+func main() {
+	cfg := hybridtlb.SimulationConfig{
+		Scheme:   hybridtlb.SchemeAnchor,
+		Workload: "omnetpp",
+		Scenario: hybridtlb.ScenarioMedium,
+		Accesses: 200_000,
+		Seed:     11,
+	}
+
+	// Dynamic selection first.
+	dyn, err := hybridtlb.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s on the %s mapping (%d chunks)\n\n", cfg.Workload, cfg.Scenario, dyn.Chunks)
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "anchor distance\tTLB misses\tanchor-hit share\ttranslation CPI")
+
+	type point struct {
+		dist   uint64
+		misses uint64
+	}
+	best := point{misses: ^uint64(0)}
+	for d := uint64(2); d <= 1<<16; d *= 2 {
+		c := cfg
+		c.FixedAnchorDistance = d
+		res, err := hybridtlb.Simulate(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if d == dyn.AnchorDistance {
+			marker = "  <- dynamic selection"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.1f%%\t%.4f%s\n",
+			d, res.Stats.Misses, res.L2CoalescedHitFraction*100, res.TranslationCPI, marker)
+		if res.Stats.Misses < best.misses {
+			best = point{d, res.Stats.Misses}
+		}
+	}
+	tw.Flush()
+
+	fmt.Printf("\nmeasured optimum: distance %d (%d misses)\n", best.dist, best.misses)
+	fmt.Printf("dynamic pick:     distance %d (%d misses)\n", dyn.AnchorDistance, dyn.Stats.Misses)
+	fmt.Println("\nAlgorithm 1 sees only the mapping's contiguity histogram — no access")
+	fmt.Println("frequencies — yet lands at or near the measured optimum (Section 5.2.3).")
+}

@@ -1,0 +1,74 @@
+// Fragmentation study: how each translation scheme degrades as background
+// memory pressure fragments the physical memory a process receives — the
+// NUMA/fragmentation motivation of Section 2 of the paper.
+//
+// For one workload, the demand-paging mapping is regenerated under
+// increasing pressure and every scheme's miss rate is measured. Watch THP
+// and RMM collapse as contiguity evaporates while the anchor scheme
+// follows the best available technique at every point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hybridtlb"
+)
+
+func main() {
+	const workloadName = "canneal"
+	schemes := []string{
+		hybridtlb.SchemeBase, hybridtlb.SchemeTHP, hybridtlb.SchemeCluster2M,
+		hybridtlb.SchemeRMM, hybridtlb.SchemeAnchor,
+	}
+	pressures := []float64{0, 0.3, 0.6, 0.9}
+
+	fmt.Printf("TLB misses per million instructions — %s under demand paging\n\n", workloadName)
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "pressure")
+	for _, s := range schemes {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw, "\tanchor+cap\tanchor dist.")
+
+	for _, p := range pressures {
+		fmt.Fprintf(tw, "%.1f", p)
+		var anchorDist uint64
+		base := hybridtlb.SimulationConfig{
+			Workload: workloadName,
+			Scenario: hybridtlb.ScenarioDemand,
+			Accesses: 300_000,
+			Seed:     7,
+			Pressure: p,
+		}
+		for _, s := range schemes {
+			cfg := base
+			cfg.Scheme = s
+			res, err := hybridtlb.Simulate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "\t%.0f", res.MissesPerMillionInstructions())
+			if s == hybridtlb.SchemeAnchor {
+				anchorDist = res.AnchorDistance
+			}
+		}
+		// The capacity-aware selection extension, for comparison.
+		cfg := base
+		cfg.Scheme = hybridtlb.SchemeAnchor
+		cfg.CostModel = hybridtlb.CostModelCapacityAware
+		capRes, err := hybridtlb.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "\t%.0f\t%d\n", capRes.MissesPerMillionInstructions(), anchorDist)
+	}
+	tw.Flush()
+
+	fmt.Println("\nThe anchor distance shrinks as fragmentation rises: the OS re-encodes")
+	fmt.Println("whatever contiguity is left instead of betting on one fixed chunk size.")
+	fmt.Println("The capacity-aware column shows this repository's selection extension,")
+	fmt.Println("which accounts for TLB capacity when fragmentation explodes the entry count.")
+}

@@ -1,0 +1,3 @@
+module hybridtlb
+
+go 1.22

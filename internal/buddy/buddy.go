@@ -1,0 +1,278 @@
+// Package buddy implements a binary buddy allocator over physical page
+// frames, mirroring the Linux page allocator the paper's OS discussion
+// relies on (Sections 2.1 and 5.1: "the operating system uses a buddy
+// algorithm to reduce memory fragmentation").
+//
+// The allocator hands out power-of-two blocks of 4 KiB frames, always
+// choosing the lowest-addressed free block of the requested order
+// (deterministic, which keeps simulations reproducible), splits larger
+// blocks on demand, and eagerly merges freed buddies back together.
+// Fragmentation metrics expose the free-list shape so that mapping
+// generators can reason about the contiguity the "OS" can offer.
+package buddy
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"hybridtlb/internal/mem"
+)
+
+// MaxOrder is the largest supported block order: order 18 blocks are
+// 2^18 frames = 1 GiB, matching the largest x86 page size.
+const MaxOrder = 18
+
+// ErrOutOfMemory is returned when no block of the requested order (or any
+// larger order to split) is free.
+var ErrOutOfMemory = errors.New("buddy: out of memory")
+
+// Allocator is a binary buddy allocator over the frame range [0, Frames()).
+// The zero value is not usable; call New.
+type Allocator struct {
+	frames uint64
+	free   [MaxOrder + 1]orderList
+	// allocated tracks live blocks so Free can validate double-frees and
+	// order mismatches. Keyed by start PFN, value is the block order.
+	allocated map[mem.PFN]int
+	freeCount uint64 // total free frames
+}
+
+// orderList is the free list for one order: a set for O(1) membership
+// (buddy-merge checks and removals) plus a lazy min-heap so allocation can
+// deterministically take the lowest-addressed block in O(log n).
+type orderList struct {
+	set  map[mem.PFN]struct{}
+	heap pfnHeap
+}
+
+func (l *orderList) init() {
+	l.set = make(map[mem.PFN]struct{})
+}
+
+func (l *orderList) add(p mem.PFN) {
+	l.set[p] = struct{}{}
+	heap.Push(&l.heap, p)
+}
+
+// remove deletes a specific block from the free list (used when merging a
+// buddy). The heap entry is left behind and skipped lazily on pop.
+func (l *orderList) remove(p mem.PFN) bool {
+	if _, ok := l.set[p]; !ok {
+		return false
+	}
+	delete(l.set, p)
+	return true
+}
+
+// popMin removes and returns the lowest-addressed free block, skipping heap
+// entries that were invalidated by remove.
+func (l *orderList) popMin() (mem.PFN, bool) {
+	for l.heap.Len() > 0 {
+		p := heap.Pop(&l.heap).(mem.PFN)
+		if _, ok := l.set[p]; ok {
+			delete(l.set, p)
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func (l *orderList) size() int { return len(l.set) }
+
+type pfnHeap []mem.PFN
+
+func (h pfnHeap) Len() int            { return len(h) }
+func (h pfnHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h pfnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pfnHeap) Push(x interface{}) { *h = append(*h, x.(mem.PFN)) }
+func (h *pfnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New creates an allocator managing frames frames of physical memory.
+// The frame count need not be a power of two; the range is seeded with the
+// greedy decomposition into maximal aligned blocks.
+func New(frames uint64) *Allocator {
+	a := &Allocator{
+		frames:    frames,
+		allocated: make(map[mem.PFN]int),
+	}
+	for i := range a.free {
+		a.free[i].init()
+	}
+	// Greedily cover [0, frames) with maximal aligned power-of-two blocks.
+	var p uint64
+	for p < frames {
+		order := MaxOrder
+		for order > 0 {
+			size := uint64(1) << order
+			if p%size == 0 && p+size <= frames {
+				break
+			}
+			order--
+		}
+		a.free[order].add(mem.PFN(p))
+		p += uint64(1) << order
+	}
+	a.freeCount = frames
+	return a
+}
+
+// Frames returns the total number of frames managed by the allocator.
+func (a *Allocator) Frames() uint64 { return a.frames }
+
+// FreeFrames returns the number of currently free frames.
+func (a *Allocator) FreeFrames() uint64 { return a.freeCount }
+
+// Alloc allocates one block of 2^order frames and returns its first PFN.
+// The block is naturally aligned to its size.
+func (a *Allocator) Alloc(order int) (mem.PFN, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("buddy: invalid order %d", order)
+	}
+	// Find the smallest order >= requested with a free block.
+	from := order
+	for from <= MaxOrder && a.free[from].size() == 0 {
+		from++
+	}
+	if from > MaxOrder {
+		return 0, ErrOutOfMemory
+	}
+	p, ok := a.free[from].popMin()
+	if !ok {
+		return 0, ErrOutOfMemory
+	}
+	// Split down to the requested order, returning the upper halves to the
+	// free lists.
+	for from > order {
+		from--
+		upper := p + mem.PFN(uint64(1)<<from)
+		a.free[from].add(upper)
+	}
+	a.allocated[p] = order
+	a.freeCount -= uint64(1) << order
+	return p, nil
+}
+
+// AllocPages allocates the smallest single block that covers pages frames
+// and returns its first PFN together with the block's actual frame count.
+// Callers that need an exact run of pages frames use the block's prefix and
+// may Free the block later as a whole.
+func (a *Allocator) AllocPages(pages uint64) (mem.PFN, uint64, error) {
+	if pages == 0 {
+		return 0, 0, errors.New("buddy: zero-page allocation")
+	}
+	order := int(mem.Log2(mem.NextPow2(pages)))
+	if order > MaxOrder {
+		return 0, 0, fmt.Errorf("buddy: request of %d pages exceeds max order %d", pages, MaxOrder)
+	}
+	p, err := a.Alloc(order)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, uint64(1) << order, nil
+}
+
+// Free returns the block starting at p (previously returned by Alloc with
+// the same order) to the allocator, merging with its buddy as far as
+// possible.
+func (a *Allocator) Free(p mem.PFN, order int) error {
+	if got, ok := a.allocated[p]; !ok || got != order {
+		return fmt.Errorf("buddy: invalid free of PFN %#x order %d", uint64(p), order)
+	}
+	delete(a.allocated, p)
+	a.freeCount += uint64(1) << order
+
+	// Merge upward while the buddy block is free.
+	for order < MaxOrder {
+		size := mem.PFN(uint64(1) << order)
+		buddy := p ^ size
+		if uint64(buddy)+uint64(size) > a.frames {
+			break // buddy lies outside the managed range
+		}
+		if !a.free[order].remove(buddy) {
+			break
+		}
+		if buddy < p {
+			p = buddy
+		}
+		order++
+	}
+	a.free[order].add(p)
+	return nil
+}
+
+// LargestFreeOrder returns the largest order with at least one free block,
+// or -1 if memory is exhausted.
+func (a *Allocator) LargestFreeOrder() int {
+	for o := MaxOrder; o >= 0; o-- {
+		if a.free[o].size() > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// FreeBlocks returns the number of free blocks at each order. Index i holds
+// the count of free 2^i-frame blocks.
+func (a *Allocator) FreeBlocks() [MaxOrder + 1]int {
+	var out [MaxOrder + 1]int
+	for o := range a.free {
+		out[o] = a.free[o].size()
+	}
+	return out
+}
+
+// FragmentationIndex computes the free-memory fragmentation for a target
+// order in the style of Linux's extfrag_index: 0 means all free memory is
+// already in blocks of the target order or larger; values approaching 1
+// mean free memory exists only as scattered small blocks.
+func (a *Allocator) FragmentationIndex(order int) float64 {
+	if a.freeCount == 0 {
+		return 0
+	}
+	var usable uint64
+	for o := order; o <= MaxOrder; o++ {
+		usable += uint64(a.free[o].size()) << uint(o)
+	}
+	return 1 - float64(usable)/float64(a.freeCount)
+}
+
+// CheckInvariants validates internal consistency: free counts match the
+// free lists, no free block overlaps an allocated block, and all blocks are
+// naturally aligned. It is used by tests and is O(free blocks).
+func (a *Allocator) CheckInvariants() error {
+	var total uint64
+	for o := range a.free {
+		for p := range a.free[o].set {
+			size := uint64(1) << o
+			if !p.IsAligned(size) {
+				return fmt.Errorf("buddy: misaligned free block PFN %#x order %d", uint64(p), o)
+			}
+			if uint64(p)+size > a.frames {
+				return fmt.Errorf("buddy: free block PFN %#x order %d out of range", uint64(p), o)
+			}
+			total += size
+		}
+	}
+	if total != a.freeCount {
+		return fmt.Errorf("buddy: free list holds %d frames, counter says %d", total, a.freeCount)
+	}
+	var live uint64
+	for p, o := range a.allocated {
+		size := uint64(1) << o
+		if !p.IsAligned(size) {
+			return fmt.Errorf("buddy: misaligned allocated block PFN %#x order %d", uint64(p), o)
+		}
+		live += size
+	}
+	if live+total != a.frames {
+		return fmt.Errorf("buddy: %d live + %d free != %d total frames", live, total, a.frames)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridtlb/internal/mem"
+)
+
+func TestNewSeedsFullRange(t *testing.T) {
+	a := New(1 << 20)
+	if a.Frames() != 1<<20 || a.FreeFrames() != 1<<20 {
+		t.Fatalf("frames=%d free=%d", a.Frames(), a.FreeFrames())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	blocks := a.FreeBlocks()
+	// 2^20 frames decompose into 4 maximal order-18 blocks.
+	if blocks[MaxOrder] != 4 {
+		t.Errorf("order-%d blocks = %d, want 4", MaxOrder, blocks[MaxOrder])
+	}
+}
+
+func TestNewNonPowerOfTwo(t *testing.T) {
+	a := New(1000) // 512 + 256 + 128 + 64 + 32 + 8
+	if a.FreeFrames() != 1000 {
+		t.Fatalf("free = %d, want 1000", a.FreeFrames())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	b := a.FreeBlocks()
+	for _, want := range []struct{ order, n int }{{9, 1}, {8, 1}, {7, 1}, {6, 1}, {5, 1}, {3, 1}} {
+		if b[want.order] != want.n {
+			t.Errorf("order %d blocks = %d, want %d", want.order, b[want.order], want.n)
+		}
+	}
+}
+
+func TestAllocLowestFirstAndAligned(t *testing.T) {
+	a := New(1 << 12)
+	p0, err := a.Alloc(4)
+	if err != nil || p0 != 0 {
+		t.Fatalf("first alloc = %v, %v; want PFN 0", p0, err)
+	}
+	p1, err := a.Alloc(4)
+	if err != nil || p1 != 16 {
+		t.Fatalf("second alloc = %v, %v; want PFN 16", p1, err)
+	}
+	p2, err := a.Alloc(0)
+	if err != nil || p2 != 32 {
+		t.Fatalf("third alloc = %v, %v; want PFN 32", p2, err)
+	}
+	if !p0.IsAligned(16) || !p1.IsAligned(16) {
+		t.Error("blocks not naturally aligned")
+	}
+	if a.FreeFrames() != 1<<12-33 {
+		t.Errorf("free = %d", a.FreeFrames())
+	}
+}
+
+func TestAllocInvalidOrder(t *testing.T) {
+	a := New(1024)
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("negative order accepted")
+	}
+	if _, err := a.Alloc(MaxOrder + 1); err == nil {
+		t.Error("oversized order accepted")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(64)
+	if _, err := a.Alloc(7); err != ErrOutOfMemory {
+		t.Errorf("order-7 from 64 frames: err = %v, want ErrOutOfMemory", err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := a.Alloc(0); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(0); err != ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+	if a.FreeFrames() != 0 {
+		t.Errorf("free = %d, want 0", a.FreeFrames())
+	}
+	if a.LargestFreeOrder() != -1 {
+		t.Errorf("LargestFreeOrder = %d, want -1", a.LargestFreeOrder())
+	}
+}
+
+func TestFreeMergesToOriginal(t *testing.T) {
+	a := New(1 << 10)
+	var pfns []mem.PFN
+	for i := 0; i < 1<<10; i++ {
+		p, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfns = append(pfns, p)
+	}
+	// Free in a scrambled order; everything must merge back.
+	r := rand.New(rand.NewSource(1))
+	r.Shuffle(len(pfns), func(i, j int) { pfns[i], pfns[j] = pfns[j], pfns[i] })
+	for _, p := range pfns {
+		if err := a.Free(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeFrames() != 1<<10 {
+		t.Fatalf("free = %d, want %d", a.FreeFrames(), 1<<10)
+	}
+	b := a.FreeBlocks()
+	if b[10] != 1 {
+		t.Errorf("expected one order-10 block after full merge, got %v", b)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	a := New(1024)
+	p, _ := a.Alloc(3)
+	if err := a.Free(p, 2); err == nil {
+		t.Error("wrong-order free accepted")
+	}
+	if err := a.Free(p+1, 3); err == nil {
+		t.Error("wrong-address free accepted")
+	}
+	if err := a.Free(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p, 3); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestAllocPages(t *testing.T) {
+	a := New(1 << 16)
+	p, got, err := a.AllocPages(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 128 {
+		t.Errorf("block size = %d, want 128 (next pow2 of 100)", got)
+	}
+	if !p.IsAligned(128) {
+		t.Error("block not aligned")
+	}
+	if _, _, err := a.AllocPages(0); err == nil {
+		t.Error("zero-page alloc accepted")
+	}
+	if _, _, err := a.AllocPages(1 << 20); err == nil {
+		t.Error("over-max alloc accepted")
+	}
+}
+
+func TestFragmentationIndex(t *testing.T) {
+	a := New(1 << 10)
+	if got := a.FragmentationIndex(9); got != 0 {
+		t.Errorf("pristine fragmentation = %v, want 0", got)
+	}
+	// Allocate everything as single pages, free every other page: free
+	// memory is then entirely order-0 blocks.
+	var pfns []mem.PFN
+	for i := 0; i < 1<<10; i++ {
+		p, _ := a.Alloc(0)
+		pfns = append(pfns, p)
+	}
+	for i := 0; i < len(pfns); i += 2 {
+		if err := a.Free(pfns[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.FragmentationIndex(1); got != 1 {
+		t.Errorf("checkerboard fragmentation at order 1 = %v, want 1", got)
+	}
+	if got := a.FragmentationIndex(0); got != 0 {
+		t.Errorf("fragmentation at order 0 = %v, want 0", got)
+	}
+}
+
+// TestRandomWorkloadInvariants drives a random alloc/free workload and
+// verifies the allocator never violates its structural invariants, never
+// double-allocates overlapping blocks, and accounts frames exactly.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	a := New(1 << 14)
+	type block struct {
+		p     mem.PFN
+		order int
+	}
+	var live []block
+	owner := make(map[mem.PFN]bool)
+	for step := 0; step < 5000; step++ {
+		if r.Intn(2) == 0 || len(live) == 0 {
+			order := r.Intn(8)
+			p, err := a.Alloc(order)
+			if err != nil {
+				continue // OOM under pressure is fine
+			}
+			for f := p; f < p+mem.PFN(1<<order); f++ {
+				if owner[f] {
+					t.Fatalf("step %d: frame %#x double-allocated", step, uint64(f))
+				}
+				owner[f] = true
+			}
+			live = append(live, block{p, order})
+		} else {
+			i := r.Intn(len(live))
+			b := live[i]
+			if err := a.Free(b.p, b.order); err != nil {
+				t.Fatalf("step %d: free failed: %v", step, err)
+			}
+			for f := b.p; f < b.p+mem.PFN(1<<b.order); f++ {
+				delete(owner, f)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var liveFrames uint64
+	for _, b := range live {
+		liveFrames += 1 << b.order
+	}
+	if a.FreeFrames()+liveFrames != a.Frames() {
+		t.Fatalf("accounting: %d free + %d live != %d", a.FreeFrames(), liveFrames, a.Frames())
+	}
+}
+
+// TestAllocFreeRoundTripProperty: any sequence of successful allocations
+// followed by freeing all of them restores the pristine free-frame count
+// and a fully merged free list.
+func TestAllocFreeRoundTripProperty(t *testing.T) {
+	f := func(orders []uint8) bool {
+		a := New(1 << 15)
+		type block struct {
+			p mem.PFN
+			o int
+		}
+		var blocks []block
+		for _, raw := range orders {
+			o := int(raw % 10)
+			p, err := a.Alloc(o)
+			if err != nil {
+				break
+			}
+			blocks = append(blocks, block{p, o})
+		}
+		for i := len(blocks) - 1; i >= 0; i-- {
+			if err := a.Free(blocks[i].p, blocks[i].o); err != nil {
+				return false
+			}
+		}
+		if a.FreeFrames() != 1<<15 {
+			return false
+		}
+		return a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := New(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package cache provides a set-associative data-cache model used to give
+// page table walks realistic, state-dependent latencies. The paper's
+// methodology simulates "the cache and TLB structures" (Section 5.1) but
+// reports translation costs with the flat Table 3 latencies; this package
+// backs the optional detailed walk model (mmu.WalkModel), which can
+// replace the flat 50-cycle walk with per-level cache hits and misses plus
+// a page-walk cache — and is exercised as an ablation.
+package cache
+
+import (
+	"fmt"
+
+	"hybridtlb/internal/mem"
+)
+
+// LineShift is the cache line granularity (64-byte lines).
+const LineShift = 6
+
+// Line is a physical cache-line address (a physical byte address shifted
+// right by LineShift).
+type Line uint64
+
+// LineOf converts a physical address to its line.
+func LineOf(pa mem.PhysAddr) Line { return Line(pa >> LineShift) }
+
+// Cache is a set-associative, LRU, physically indexed cache of line
+// addresses. It models presence only (no data), which is all latency
+// modeling needs.
+type Cache struct {
+	sets, ways int
+	lines      []entry
+	clock      uint64
+
+	hits, misses uint64
+}
+
+type entry struct {
+	valid bool
+	line  Line
+	lru   uint64
+}
+
+// New creates a cache with capacityBytes capacity and the given
+// associativity. capacityBytes must yield a power-of-two set count.
+func New(capacityBytes uint64, ways int) *Cache {
+	if ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+	lines := capacityBytes >> LineShift
+	if lines == 0 || lines%uint64(ways) != 0 {
+		panic(fmt.Sprintf("cache: capacity %d does not divide into %d ways of lines", capacityBytes, ways))
+	}
+	sets := lines / uint64(ways)
+	if !mem.IsPow2(sets) {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", sets))
+	}
+	return &Cache{sets: int(sets), ways: ways, lines: make([]entry, lines)}
+}
+
+// Sets returns the set count.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// CapacityBytes returns the modeled capacity.
+func (c *Cache) CapacityBytes() uint64 { return uint64(c.sets*c.ways) << LineShift }
+
+// Hits returns the number of accesses satisfied by the cache.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of accesses that missed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Access touches a line: on a hit it is promoted to MRU; on a miss it is
+// installed, evicting the set's LRU line. The return value reports a hit.
+func (c *Cache) Access(l Line) bool {
+	set := int(uint64(l) & uint64(c.sets-1))
+	base := set * c.ways
+	c.clock++
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].line == l {
+			c.lines[i].lru = c.clock
+			c.hits++
+			return true
+		}
+		if !c.lines[i].valid {
+			if c.lines[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if c.lines[victim].valid && c.lines[i].lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	c.misses++
+	c.lines[victim] = entry{valid: true, line: l, lru: c.clock}
+	return false
+}
+
+// Contains reports presence without touching LRU or counters.
+func (c *Cache) Contains(l Line) bool {
+	set := int(uint64(l) & uint64(c.sets-1))
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = entry{}
+	}
+}
+
+// Hierarchy chains cache levels: an access tries each level in order and
+// fills all of them (inclusive), accumulating the level's latency until
+// the first hit; a full miss costs the memory latency on top.
+type Hierarchy struct {
+	levels []level
+	memLat uint64
+}
+
+type level struct {
+	c   *Cache
+	lat uint64
+}
+
+// NewHierarchy builds a hierarchy; call AddLevel outermost-first is NOT
+// required — levels are probed in the order added (closest first).
+func NewHierarchy(memoryLatency uint64) *Hierarchy {
+	return &Hierarchy{memLat: memoryLatency}
+}
+
+// AddLevel appends a cache level with its hit latency.
+func (h *Hierarchy) AddLevel(c *Cache, hitLatency uint64) *Hierarchy {
+	h.levels = append(h.levels, level{c, hitLatency})
+	return h
+}
+
+// Access performs one line access and returns its total latency in
+// cycles.
+func (h *Hierarchy) Access(l Line) uint64 {
+	var cycles uint64
+	for _, lv := range h.levels {
+		cycles += lv.lat
+		if lv.c.Access(l) {
+			return cycles
+		}
+	}
+	return cycles + h.memLat
+}
+
+// Flush empties every level.
+func (h *Hierarchy) Flush() {
+	for _, lv := range h.levels {
+		lv.c.Flush()
+	}
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridtlb/internal/mem"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4) },
+		func() { New(1<<15, 0) },
+		func() { New(3*64, 4) },   // lines not divisible by ways... 3 lines / 4 ways
+		func() { New(64*4*3, 4) }, // 3 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	c := New(32<<10, 8)
+	if c.Sets() != 64 || c.Ways() != 8 || c.CapacityBytes() != 32<<10 {
+		t.Errorf("geometry: %d sets, %d ways, %d bytes", c.Sets(), c.Ways(), c.CapacityBytes())
+	}
+}
+
+func TestAccessHitMiss(t *testing.T) {
+	c := New(4<<10, 4) // 16 sets
+	if c.Access(100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(100) {
+		t.Error("warm access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("counters: %d hits, %d misses", c.Hits(), c.Misses())
+	}
+	if !c.Contains(100) || c.Contains(101) {
+		t.Error("Contains wrong")
+	}
+	c.Flush()
+	if c.Contains(100) {
+		t.Error("flush kept line")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := New(64*2, 2) // 1 set, 2 ways
+	c.Access(0)
+	c.Access(1)
+	c.Access(0) // 1 becomes LRU
+	c.Access(2) // evicts 1
+	if !c.Contains(0) || c.Contains(1) || !c.Contains(2) {
+		t.Error("LRU eviction wrong")
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 || LineOf(4096) != 64 {
+		t.Error("LineOf wrong")
+	}
+}
+
+func TestCapacityBehaviour(t *testing.T) {
+	// Working set within capacity: near-perfect reuse after warmup.
+	c := New(64<<10, 8) // 1024 lines
+	for pass := 0; pass < 3; pass++ {
+		for l := Line(0); l < 512; l++ {
+			c.Access(l)
+		}
+	}
+	missRate := float64(c.Misses()) / float64(c.Hits()+c.Misses())
+	if missRate > 0.34 {
+		t.Errorf("fitting working set miss rate = %.2f", missRate)
+	}
+	// Working set 4x capacity with streaming access: almost all misses.
+	c2 := New(64<<10, 8)
+	for pass := 0; pass < 3; pass++ {
+		for l := Line(0); l < 4096; l++ {
+			c2.Access(l)
+		}
+	}
+	missRate2 := float64(c2.Misses()) / float64(c2.Hits()+c2.Misses())
+	if missRate2 < 0.9 {
+		t.Errorf("streaming over-capacity miss rate = %.2f", missRate2)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	l1 := New(4<<10, 4)
+	l2 := New(32<<10, 8)
+	h := NewHierarchy(200).AddLevel(l1, 4).AddLevel(l2, 12)
+
+	// Cold: L1 miss + L2 miss + memory.
+	if got := h.Access(42); got != 4+12+200 {
+		t.Errorf("cold latency = %d", got)
+	}
+	// Warm: L1 hit.
+	if got := h.Access(42); got != 4 {
+		t.Errorf("L1 hit latency = %d", got)
+	}
+	// Evict from L1 only: L2 hit. L1 has 16 sets; conflict line 42+16k.
+	for i := 1; i <= 4; i++ {
+		h.Access(Line(42 + 64*i))
+	}
+	if l1.Contains(42) {
+		t.Skip("line survived L1 (different conflict geometry)")
+	}
+	if got := h.Access(42); got != 4+12 {
+		t.Errorf("L2 hit latency = %d", got)
+	}
+	h.Flush()
+	if got := h.Access(42); got != 216 {
+		t.Errorf("post-flush latency = %d", got)
+	}
+}
+
+func TestRandomizedCounters(t *testing.T) {
+	c := New(8<<10, 4)
+	r := rand.New(rand.NewSource(2))
+	var accesses uint64
+	for i := 0; i < 100000; i++ {
+		c.Access(Line(r.Intn(1 << 12)))
+		accesses++
+	}
+	if c.Hits()+c.Misses() != accesses {
+		t.Errorf("counters do not sum: %d + %d != %d", c.Hits(), c.Misses(), accesses)
+	}
+}
+
+func TestPhysAddrIntegration(t *testing.T) {
+	// Lines derived from adjacent PTEs in one page table node share a
+	// cache line (8 PTEs x 8 bytes = 64 bytes).
+	base := mem.PhysAddr(0x1234000)
+	if LineOf(base) != LineOf(base+56) {
+		t.Error("PTEs of one cache block map to different lines")
+	}
+	if LineOf(base) == LineOf(base+64) {
+		t.Error("adjacent cache blocks collide")
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(256<<10, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(Line(i & 0xFFFF))
+	}
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution in library
+// form: anchor-based hybrid TLB coalescing. It contains the pure anchor
+// translation math (Section 3.2), the L2 TLB operation flow of Table 2,
+// and the dynamic anchor distance selection algorithm (Section 4,
+// Algorithm 1). The hardware composition that uses these pieces lives in
+// internal/mmu; the OS maintenance that feeds them lives in
+// internal/osmem.
+package core
+
+import (
+	"fmt"
+
+	"hybridtlb/internal/mem"
+)
+
+// MinDistance and MaxDistance bound the anchor distances the system
+// supports: Algorithm 1 considers [2, 4, 8, ..., 2^16].
+const (
+	MinDistance uint64 = 2
+	MaxDistance uint64 = 1 << 16
+)
+
+// Distances returns the list of candidate anchor distances the OS
+// evaluates, [2, 4, 8, ..., 2^16], as in line 4 of Algorithm 1.
+func Distances() []uint64 {
+	var out []uint64
+	for d := MinDistance; d <= MaxDistance; d *= 2 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// ValidDistance reports whether d is a legal anchor distance.
+func ValidDistance(d uint64) bool {
+	return mem.IsPow2(d) && d >= MinDistance && d <= MaxDistance
+}
+
+// AnchorVPN returns the anchor virtual page number (AVPN) responsible for
+// vpn at anchor distance d: the VPN aligned down to the distance
+// ("clearing out the log2(anchor distance) LSB bits of the VPN").
+func AnchorVPN(vpn mem.VPN, d uint64) mem.VPN {
+	if !ValidDistance(d) {
+		panic(fmt.Sprintf("core: invalid anchor distance %d", d))
+	}
+	return vpn.AlignDown(d)
+}
+
+// Covered reports whether a VPN is covered by its anchor's contiguity:
+// the anchor at AnchorVPN(vpn, d) maps vpn iff VPN - AVPN < contiguity.
+func Covered(vpn, avpn mem.VPN, contiguity uint64) bool {
+	return vpn >= avpn && uint64(vpn-avpn) < contiguity
+}
+
+// TranslateViaAnchor computes the physical frame for vpn through an anchor
+// entry: APPN + (VPN - AVPN). The caller must have checked Covered.
+func TranslateViaAnchor(vpn, avpn mem.VPN, appn mem.PFN) mem.PFN {
+	return appn + mem.PFN(vpn-avpn)
+}
+
+// L2Action describes what the anchor-TLB lookup flow does for a request,
+// enumerating the rows of Table 2 in the paper.
+type L2Action int
+
+// The five rows of Table 2.
+const (
+	// ActionRegularHit: the regular L2 entry hits; translation done.
+	ActionRegularHit L2Action = iota
+	// ActionAnchorHit: regular miss, anchor hit, contiguity matches;
+	// translation done through the anchor entry.
+	ActionAnchorHit
+	// ActionFillRegular: regular miss, anchor hit, contiguity does NOT
+	// match; page walk fetches the page table entry and fills a regular
+	// TLB entry.
+	ActionFillRegular
+	// ActionWalkFillAnchor: both miss; page walk fetches the regular
+	// entry (returned to the core first) and the anchor entry; the
+	// contiguity matches, so only the anchor entry is filled.
+	ActionWalkFillAnchor
+	// ActionWalkFillRegular: both miss; the fetched anchor's contiguity
+	// does not cover the VPN, so only the regular entry is filled.
+	ActionWalkFillRegular
+)
+
+// String names the action.
+func (a L2Action) String() string {
+	switch a {
+	case ActionRegularHit:
+		return "regular-hit"
+	case ActionAnchorHit:
+		return "anchor-hit"
+	case ActionFillRegular:
+		return "anchor-hit-contig-miss"
+	case ActionWalkFillAnchor:
+		return "walk-fill-anchor"
+	case ActionWalkFillRegular:
+		return "walk-fill-regular"
+	default:
+		return fmt.Sprintf("L2Action(%d)", int(a))
+	}
+}
+
+// ClassifyL2 implements the decision table (Table 2). regularHit and
+// anchorHit describe the two L2 probes; contigMatch is whether the
+// (present or freshly walked) anchor covers the VPN.
+func ClassifyL2(regularHit, anchorHit, contigMatch bool) L2Action {
+	switch {
+	case regularHit:
+		return ActionRegularHit
+	case anchorHit && contigMatch:
+		return ActionAnchorHit
+	case anchorHit && !contigMatch:
+		return ActionFillRegular
+	case contigMatch:
+		return ActionWalkFillAnchor
+	default:
+		return ActionWalkFillRegular
+	}
+}
+
+// NeedsWalk reports whether the action involves a page table walk.
+func (a L2Action) NeedsWalk() bool {
+	return a == ActionFillRegular || a == ActionWalkFillAnchor || a == ActionWalkFillRegular
+}

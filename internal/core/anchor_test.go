@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridtlb/internal/mem"
+)
+
+func TestDistances(t *testing.T) {
+	ds := Distances()
+	if len(ds) != 16 {
+		t.Fatalf("got %d distances, want 16 (2..2^16)", len(ds))
+	}
+	if ds[0] != 2 || ds[len(ds)-1] != 1<<16 {
+		t.Errorf("range = [%d, %d], want [2, 65536]", ds[0], ds[len(ds)-1])
+	}
+	for _, d := range ds {
+		if !ValidDistance(d) {
+			t.Errorf("distance %d reported invalid", d)
+		}
+	}
+	for _, d := range []uint64{0, 1, 3, 6, 1 << 17} {
+		if ValidDistance(d) {
+			t.Errorf("distance %d reported valid", d)
+		}
+	}
+}
+
+func TestAnchorVPN(t *testing.T) {
+	if AnchorVPN(0x1237, 16) != 0x1230 {
+		t.Error("AnchorVPN wrong")
+	}
+	if AnchorVPN(0x1230, 16) != 0x1230 {
+		t.Error("aligned VPN moved")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid distance accepted")
+		}
+	}()
+	AnchorVPN(5, 3)
+}
+
+func TestCoveredBoundaries(t *testing.T) {
+	avpn := mem.VPN(0x100)
+	if !Covered(0x100, avpn, 1) {
+		t.Error("anchor page itself not covered with contiguity 1")
+	}
+	if Covered(0x101, avpn, 1) {
+		t.Error("page past contiguity covered")
+	}
+	if !Covered(0x10F, avpn, 16) || Covered(0x110, avpn, 16) {
+		t.Error("contiguity 16 boundary wrong")
+	}
+	if Covered(0x0FF, avpn, 16) {
+		t.Error("page before anchor covered")
+	}
+	if Covered(0x100, avpn, 0) {
+		t.Error("zero contiguity covered something")
+	}
+}
+
+func TestTranslateViaAnchor(t *testing.T) {
+	got := TranslateViaAnchor(0x105, 0x100, 0x5000)
+	if got != 0x5005 {
+		t.Errorf("translate = %#x, want 0x5005", uint64(got))
+	}
+}
+
+func TestAnchorTranslationProperty(t *testing.T) {
+	// For any VPN within a contiguous run starting at an anchor, the
+	// anchor translation equals the direct offset translation.
+	f := func(vpnRaw, appnRaw uint64, dShift uint8, off uint16) bool {
+		d := uint64(1) << (dShift%15 + 2) // 4..2^16
+		avpn := mem.VPN(vpnRaw % (1 << 30)).AlignDown(d)
+		appn := mem.PFN(appnRaw % (1 << 30))
+		delta := uint64(off) % d
+		vpn := avpn + mem.VPN(delta)
+		if AnchorVPN(vpn, d) != avpn {
+			return false
+		}
+		if !Covered(vpn, avpn, d) {
+			return false
+		}
+		return TranslateViaAnchor(vpn, avpn, appn) == appn+mem.PFN(delta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTable2 verifies the L2 TLB operation flow against every row of
+// Table 2 in the paper.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		name                             string
+		regularHit, anchorHit, contigHit bool
+		want                             L2Action
+		needsWalk                        bool
+	}{
+		{"row1: regular hit", true, false, false, ActionRegularHit, false},
+		{"row1b: regular hit shadows anchor state", true, true, true, ActionRegularHit, false},
+		{"row2: anchor hit, contiguity match", false, true, true, ActionAnchorHit, false},
+		{"row3: anchor hit, contiguity miss", false, true, false, ActionFillRegular, true},
+		{"row4: both miss, walked anchor covers", false, false, true, ActionWalkFillAnchor, true},
+		{"row5: both miss, walked anchor does not cover", false, false, false, ActionWalkFillRegular, true},
+	}
+	for _, c := range cases {
+		got := ClassifyL2(c.regularHit, c.anchorHit, c.contigHit)
+		if got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		if got.NeedsWalk() != c.needsWalk {
+			t.Errorf("%s: NeedsWalk = %v, want %v", c.name, got.NeedsWalk(), c.needsWalk)
+		}
+	}
+}
+
+func TestL2ActionString(t *testing.T) {
+	for a := ActionRegularHit; a <= ActionWalkFillRegular; a++ {
+		if a.String() == "" {
+			t.Errorf("action %d has empty name", int(a))
+		}
+	}
+	if L2Action(99).String() != "L2Action(99)" {
+		t.Error("unknown action formatting wrong")
+	}
+}

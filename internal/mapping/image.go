@@ -1,0 +1,129 @@
+package mapping
+
+import (
+	"fmt"
+
+	"hybridtlb/internal/mem"
+)
+
+// This file builds whole process images: several VMAs (code, data, heap,
+// mmap arena, stack) with different sizes and contiguity profiles,
+// separated by unmapped guard gaps. Section 4.2 of the paper motivates
+// the multi-region extension with exactly this structure: "an address
+// space has different semantic memory regions: code, data, shared libs.,
+// heap and stack. Different regions may have different contiguity."
+
+// VMASpec describes one semantic region of a process image.
+type VMASpec struct {
+	// Name labels the region ("code", "heap", ...).
+	Name string
+	// Pages is the region size in 4 KiB pages.
+	Pages uint64
+	// Scenario is the contiguity profile of the region's backing.
+	Scenario Scenario
+	// FineGrained routes the buddy-backed scenarios through the
+	// small-interleaved-allocations path.
+	FineGrained bool
+}
+
+// PlacedVMA is a VMA at its final position in the image.
+type PlacedVMA struct {
+	VMASpec
+	StartVPN mem.VPN
+	EndVPN   mem.VPN
+}
+
+// ProcessImage is a complete multi-VMA mapping.
+type ProcessImage struct {
+	VMAs   []PlacedVMA
+	Chunks mem.ChunkList
+}
+
+// FootprintPages returns the mapped page count (gaps excluded).
+func (im ProcessImage) FootprintPages() uint64 { return im.Chunks.TotalPages() }
+
+// VMAOf returns the VMA containing vpn, if any.
+func (im ProcessImage) VMAOf(vpn mem.VPN) (PlacedVMA, bool) {
+	for _, v := range im.VMAs {
+		if vpn >= v.StartVPN && vpn < v.EndVPN {
+			return v, true
+		}
+	}
+	return PlacedVMA{}, false
+}
+
+// guardPages separates consecutive VMAs (an unmapped gap, like the guard
+// regions real address spaces keep between mappings).
+const guardPages = 512
+
+// vmaPhysStride separates the synthetic physical regions backing each
+// VMA so their frames can never collide; it is 2 MiB-aligned to preserve
+// huge-page congruence.
+const vmaPhysStride = uint64(1) << 36
+
+// GenerateImage lays the VMAs out from cfg.BaseVPN upward with guard gaps
+// and generates each VMA's chunks with its own contiguity scenario.
+// cfg.FootprintPages is ignored (the specs define sizes); cfg.Seed and
+// cfg.Pressure apply to every VMA.
+func GenerateImage(specs []VMASpec, cfg Config) (ProcessImage, error) {
+	if len(specs) == 0 {
+		return ProcessImage{}, fmt.Errorf("mapping: empty image")
+	}
+	base := cfg.BaseVPN
+	if base == 0 {
+		base = DefaultBaseVPN
+	}
+	base = base.AlignUp(mem.PagesPer2M)
+
+	var im ProcessImage
+	cursor := base
+	for i, spec := range specs {
+		if spec.Pages == 0 {
+			return ProcessImage{}, fmt.Errorf("mapping: empty VMA %q", spec.Name)
+		}
+		vcfg := cfg
+		vcfg.BaseVPN = cursor
+		vcfg.FootprintPages = spec.Pages
+		vcfg.Seed = cfg.Seed + int64(i)*7919
+		vcfg.FineGrained = spec.FineGrained
+		vcfg.PhysFrames = 0 // per-VMA default sizing
+		cl, err := Generate(spec.Scenario, vcfg)
+		if err != nil {
+			return ProcessImage{}, fmt.Errorf("mapping: VMA %q: %w", spec.Name, err)
+		}
+		// Relocate the VMA's frames into its own physical stripe so VMAs
+		// never share frames.
+		stripe := mem.PFN(uint64(i+1) * vmaPhysStride)
+		for j := range cl {
+			cl[j].StartPFN += stripe
+		}
+		start := cl[0].StartVPN
+		im.VMAs = append(im.VMAs, PlacedVMA{
+			VMASpec:  spec,
+			StartVPN: start,
+			EndVPN:   start + mem.VPN(spec.Pages),
+		})
+		im.Chunks = append(im.Chunks, cl...)
+		cursor = (start + mem.VPN(spec.Pages) + guardPages).AlignUp(mem.PagesPer2M)
+	}
+	im.Chunks.Sort()
+	if err := im.Chunks.Validate(); err != nil {
+		return ProcessImage{}, fmt.Errorf("mapping: image generator bug: %w", err)
+	}
+	return im, nil
+}
+
+// DefaultImage returns a representative process layout: a small
+// fine-grained code region, a medium-contiguity data segment, a large
+// demand-paged heap, a high-contiguity mmap arena, and a small stack.
+// heapPages scales the image (the other regions keep realistic fixed
+// sizes).
+func DefaultImage(heapPages uint64) []VMASpec {
+	return []VMASpec{
+		{Name: "code", Pages: 1024, Scenario: Low, FineGrained: false},
+		{Name: "data", Pages: 4096, Scenario: Medium},
+		{Name: "heap", Pages: heapPages, Scenario: Demand},
+		{Name: "mmap", Pages: heapPages / 4, Scenario: High},
+		{Name: "stack", Pages: 256, Scenario: Low},
+	}
+}

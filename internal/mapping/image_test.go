@@ -1,0 +1,124 @@
+package mapping
+
+import (
+	"testing"
+
+	"hybridtlb/internal/mem"
+)
+
+func TestGenerateImageLayout(t *testing.T) {
+	specs := DefaultImage(1 << 15)
+	im, err := GenerateImage(specs, Config{Seed: 3, Pressure: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.VMAs) != len(specs) {
+		t.Fatalf("VMAs = %d", len(im.VMAs))
+	}
+	var want uint64
+	for _, s := range specs {
+		want += s.Pages
+	}
+	if got := im.FootprintPages(); got != want {
+		t.Errorf("footprint = %d, want %d", got, want)
+	}
+	// VMAs are ordered, gap-separated, and sized as specified.
+	for i, v := range im.VMAs {
+		if uint64(v.EndVPN-v.StartVPN) != specs[i].Pages {
+			t.Errorf("VMA %s size wrong", v.Name)
+		}
+		if i > 0 && v.StartVPN < im.VMAs[i-1].EndVPN+guardPages {
+			t.Errorf("VMA %s missing guard gap", v.Name)
+		}
+	}
+	// Lookup works and the gaps are unmapped.
+	if v, ok := im.VMAOf(im.VMAs[2].StartVPN + 5); !ok || v.Name != "heap" {
+		t.Errorf("VMAOf(heap+5) = %+v, %v", v, ok)
+	}
+	if _, ok := im.VMAOf(im.VMAs[0].EndVPN + 1); ok {
+		t.Error("guard gap reported mapped")
+	}
+	if _, ok := im.Chunks.Lookup(im.VMAs[0].EndVPN + 1); ok {
+		t.Error("chunk in guard gap")
+	}
+}
+
+func TestGenerateImagePhysicalIsolation(t *testing.T) {
+	im, err := GenerateImage(DefaultImage(1<<14), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames of different VMAs live in disjoint stripes.
+	stripeOf := func(p mem.PFN) uint64 { return uint64(p) / vmaPhysStride }
+	stripes := make(map[string]uint64)
+	for _, v := range im.VMAs {
+		c, ok := im.Chunks.Lookup(v.StartVPN)
+		if !ok {
+			t.Fatalf("VMA %s start unmapped", v.Name)
+		}
+		stripes[v.Name] = stripeOf(c.StartPFN)
+	}
+	seen := make(map[uint64]string)
+	for name, s := range stripes {
+		if prev, dup := seen[s]; dup {
+			t.Errorf("VMAs %s and %s share physical stripe %d", name, prev, s)
+		}
+		seen[s] = name
+	}
+}
+
+func TestGenerateImageContiguityPerVMA(t *testing.T) {
+	im, err := GenerateImage(DefaultImage(1<<15), Config{Seed: 9, Pressure: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean chunk size per VMA must reflect each scenario: code (low) far
+	// below mmap (high).
+	meanChunk := func(name string) float64 {
+		var pages, chunks uint64
+		for _, v := range im.VMAs {
+			if v.Name != name {
+				continue
+			}
+			for _, c := range im.Chunks {
+				if c.StartVPN >= v.StartVPN && c.StartVPN < v.EndVPN {
+					pages += c.Pages
+					chunks++
+				}
+			}
+		}
+		return float64(pages) / float64(chunks)
+	}
+	code, mm := meanChunk("code"), meanChunk("mmap")
+	if code*10 > mm {
+		t.Errorf("code mean chunk %.1f not far below mmap %.1f", code, mm)
+	}
+}
+
+func TestGenerateImageValidation(t *testing.T) {
+	if _, err := GenerateImage(nil, Config{Seed: 1}); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := GenerateImage([]VMASpec{{Name: "x", Pages: 0, Scenario: Low}}, Config{Seed: 1}); err == nil {
+		t.Error("empty VMA accepted")
+	}
+}
+
+func TestGenerateImageDeterministic(t *testing.T) {
+	a, err := GenerateImage(DefaultImage(1<<13), Config{Seed: 4, Pressure: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateImage(DefaultImage(1<<13), Config{Seed: 4, Pressure: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Chunks) != len(b.Chunks) {
+		t.Fatal("nondeterministic image")
+	}
+	for i := range a.Chunks {
+		if a.Chunks[i] != b.Chunks[i] {
+			t.Fatalf("chunk %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridtlb/internal/buddy"
+	"hybridtlb/internal/mem"
+)
+
+// This file models the two "real mapping" scenarios of Section 5.1 on top
+// of the buddy allocator: demand paging with transparent huge pages, and
+// eager paging. Background allocation pressure (the paper's "randomly
+// executing background jobs" from PARSEC) fragments physical memory so
+// that the contiguity handed to the process varies with system state,
+// reproducing the diversity shown in Figure 1.
+
+// backgroundJobs churns the allocator: it allocates small random-order
+// blocks until roughly `hold` frames are live, freeing every other block
+// along the way so the free space is checkerboarded rather than compact.
+// It returns the live blocks so demand paging can continue churning
+// between faults.
+type backgroundJobs struct {
+	r     *rand.Rand
+	alloc *buddy.Allocator
+	live  []bgBlock
+	hold  uint64
+	held  uint64
+}
+
+type bgBlock struct {
+	pfn   mem.PFN
+	order int
+}
+
+func newBackgroundJobs(a *buddy.Allocator, r *rand.Rand, pressure float64, reserve uint64) *backgroundJobs {
+	b := &backgroundJobs{r: r, alloc: a}
+	if pressure <= 0 || reserve == 0 {
+		return b
+	}
+	b.hold = uint64(pressure * float64(reserve))
+	// Background jobs churn an amount of memory proportional to the
+	// pressure: they allocate about twice the hold volume in small
+	// blocks, then release random ones until only the hold volume
+	// remains. The churned region ends up checkerboarded with scattered
+	// survivors, while the untouched remainder of memory keeps its large
+	// free blocks — so huge-page allocations succeed until the pristine
+	// region runs out, exactly the partial-THP mappings the paper's
+	// demand-paging snapshots show.
+	churn := 2 * b.hold
+	if cap := a.Frames() - a.Frames()/16; churn > cap {
+		churn = cap
+	}
+	for b.held < churn {
+		// A wide block-size spectrum (4 KiB .. 2 MiB) leaves holes of
+		// correspondingly varied sizes after the free phase, producing
+		// the smooth chunk-size CDFs of Figure 1 rather than a bimodal
+		// tiny-or-huge split.
+		order := b.r.Intn(10)
+		pfn, err := b.alloc.Alloc(order)
+		if err != nil {
+			break
+		}
+		b.live = append(b.live, bgBlock{pfn, order})
+		b.held += 1 << order
+	}
+	for b.held > b.hold && len(b.live) > 0 {
+		i := b.r.Intn(len(b.live))
+		blk := b.live[i]
+		if err := b.alloc.Free(blk.pfn, blk.order); err == nil {
+			b.held -= 1 << blk.order
+		}
+		b.live[i] = b.live[len(b.live)-1]
+		b.live = b.live[:len(b.live)-1]
+	}
+	return b
+}
+
+// step performs one background allocation or release, biased to keep the
+// held volume near the target.
+func (b *backgroundJobs) step() {
+	wantAlloc := b.held < b.hold
+	if len(b.live) > 0 && (!wantAlloc || b.r.Intn(3) == 0) {
+		i := b.r.Intn(len(b.live))
+		blk := b.live[i]
+		if err := b.alloc.Free(blk.pfn, blk.order); err == nil {
+			b.held -= 1 << blk.order
+		}
+		b.live[i] = b.live[len(b.live)-1]
+		b.live = b.live[:len(b.live)-1]
+		return
+	}
+	if !wantAlloc {
+		return
+	}
+	// Background jobs mostly use small allocations, with the occasional
+	// large buffer (as real co-runners do) — those bites into the
+	// pristine region are what make two runs under the same pressure
+	// receive different mappings (the diversity of Figure 1).
+	order := b.r.Intn(5)
+	if b.r.Intn(8) == 0 {
+		order = 5 + b.r.Intn(5)
+	}
+	pfn, err := b.alloc.Alloc(order)
+	if err != nil {
+		return
+	}
+	b.live = append(b.live, bgBlock{pfn, order})
+	b.held += 1 << order
+}
+
+// demand simulates demand paging with THP: virtual memory is faulted in
+// 2 MiB units in touch order (virtual order); each unit tries an order-9
+// buddy allocation and falls back to individual 4 KiB pages when the
+// allocator is too fragmented. Background churn interleaves with faults,
+// so consecutive units rarely receive adjacent blocks under pressure.
+func demand(cfg Config, r *rand.Rand) (mem.ChunkList, error) {
+	alloc := buddy.New(cfg.PhysFrames)
+	bg := newBackgroundJobs(alloc, r, cfg.Pressure, cfg.PhysFrames-cfg.FootprintPages)
+	if cfg.FineGrained {
+		return fineGrained(cfg, r, alloc, bg)
+	}
+
+	var cl mem.ChunkList
+	vpn := cfg.BaseVPN
+	end := cfg.BaseVPN + mem.VPN(cfg.FootprintPages)
+	for vpn < end {
+		// Interleaved background activity between faults (sparse: the
+		// process allocates in a burst at startup, so co-runners only
+		// occasionally interpose).
+		if r.Float64() < cfg.Pressure*0.1 {
+			bg.step()
+		}
+		unit := uint64(mem.PagesPer2M)
+		if rem := uint64(end - vpn); rem < unit {
+			unit = rem
+		}
+		// THP declines some faults even when order-9 blocks exist — small
+		// VMAs, allocation-stall avoidance, khugepaged lag — and declines
+		// more often on a loaded machine. Declined units fault 4 KiB
+		// pages from the fragmented holes, producing the small-chunk mass
+		// of Figure 1's CDFs.
+		thpDeclined := r.Float64() < 0.005+0.05*cfg.Pressure
+		if unit == mem.PagesPer2M && vpn.IsAligned(mem.PagesPer2M) && !thpDeclined {
+			if pfn, err := alloc.Alloc(9); err == nil {
+				cl = append(cl, mem.Chunk{StartVPN: vpn, StartPFN: pfn, Pages: unit})
+				vpn += mem.VPN(unit)
+				continue
+			}
+		}
+		// Fragmented fallback: fault 4 KiB pages one at a time.
+		for i := uint64(0); i < unit; i++ {
+			pfn, err := alloc.Alloc(0)
+			if err != nil {
+				return nil, fmt.Errorf("mapping: demand paging out of memory at %d/%d pages", uint64(vpn-cfg.BaseVPN)+i, cfg.FootprintPages)
+			}
+			cl = append(cl, mem.Chunk{StartVPN: vpn + mem.VPN(i), StartPFN: pfn, Pages: 1})
+		}
+		vpn += mem.VPN(unit)
+	}
+	return cl, nil
+}
+
+// eager simulates eager paging: the entire footprint is allocated in one
+// burst at process start (the paper's kernel "requests pages through the
+// buddy allocator system sequentially" at mmap time), with no background
+// churn interleaved into the burst. 2 MiB-aligned VA units take whole
+// order-9 blocks when the allocator has them — the contiguity khugepaged
+// would recover anyway — and the remainder faults page by page through
+// the fragmented holes. The result is strictly more contiguous than the
+// same machine's demand mapping, as the paper observes.
+func eager(cfg Config, r *rand.Rand) (mem.ChunkList, error) {
+	alloc := buddy.New(cfg.PhysFrames)
+	bg := newBackgroundJobs(alloc, r, cfg.Pressure, cfg.PhysFrames-cfg.FootprintPages)
+	if cfg.FineGrained {
+		// A process that allocates its memory in many small interleaved
+		// requests gets fine-grained contiguity even when pre-faulted:
+		// the allocations themselves arrive over time, not in one burst.
+		return fineGrained(cfg, r, alloc, bg)
+	}
+
+	var cl mem.ChunkList
+	vpn := cfg.BaseVPN
+	end := cfg.BaseVPN + mem.VPN(cfg.FootprintPages)
+	for vpn < end {
+		unit := uint64(mem.PagesPer2M)
+		if rem := uint64(end - vpn); rem < unit {
+			unit = rem
+		}
+		if unit == mem.PagesPer2M && vpn.IsAligned(mem.PagesPer2M) {
+			if pfn, err := alloc.Alloc(9); err == nil {
+				cl = append(cl, mem.Chunk{StartVPN: vpn, StartPFN: pfn, Pages: unit})
+				vpn += mem.VPN(unit)
+				continue
+			}
+		}
+		for i := uint64(0); i < unit; i++ {
+			pfn, err := alloc.Alloc(0)
+			if err != nil {
+				return nil, fmt.Errorf("mapping: eager paging out of memory at page %d/%d", uint64(vpn-cfg.BaseVPN)+i, cfg.FootprintPages)
+			}
+			cl = append(cl, mem.Chunk{StartVPN: vpn + mem.VPN(i), StartPFN: pfn, Pages: 1})
+		}
+		vpn += mem.VPN(unit)
+	}
+	return cl, nil
+}
+
+// fineGrained models omnetpp/xalancbmk-style allocation: the footprint is
+// faulted one page at a time, and every dozen or so pages the process's
+// own transient allocations (or a co-runner) claim an unrelated block,
+// moving the allocator's cursor — so physically contiguous runs stay
+// short regardless of machine pressure. THP never applies: the backing
+// VMAs are smaller than 2 MiB.
+func fineGrained(cfg Config, r *rand.Rand, alloc *buddy.Allocator, bg *backgroundJobs) (mem.ChunkList, error) {
+	var cl mem.ChunkList
+	// Transient blocks the process itself holds briefly between frees.
+	type tblock struct {
+		pfn   mem.PFN
+		order int
+	}
+	var transient []tblock
+	for i := uint64(0); i < cfg.FootprintPages; i++ {
+		if r.Intn(12) == 0 {
+			// A small unrelated allocation interposes, breaking the run.
+			order := r.Intn(3)
+			if pfn, err := alloc.Alloc(order); err == nil {
+				transient = append(transient, tblock{pfn, order})
+			}
+			// Occasionally release an old transient block, leaving a
+			// hole for later runs to land in.
+			if len(transient) > 8 {
+				j := r.Intn(len(transient))
+				_ = alloc.Free(transient[j].pfn, transient[j].order)
+				transient[j] = transient[len(transient)-1]
+				transient = transient[:len(transient)-1]
+			}
+			bg.step()
+		}
+		pfn, err := alloc.Alloc(0)
+		if err != nil {
+			return nil, fmt.Errorf("mapping: fine-grained paging out of memory at page %d/%d", i, cfg.FootprintPages)
+		}
+		cl = append(cl, mem.Chunk{StartVPN: cfg.BaseVPN + mem.VPN(i), StartPFN: pfn, Pages: 1})
+	}
+	return cl, nil
+}

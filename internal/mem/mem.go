@@ -1,0 +1,193 @@
+// Package mem provides the address and page arithmetic shared by every
+// layer of the hybrid TLB coalescing simulator: virtual and physical
+// addresses, page frame numbers, the x86-64 page-size hierarchy
+// (4 KiB / 2 MiB / 1 GiB), and alignment helpers.
+//
+// All other packages express translations in terms of mem.VPN and mem.PFN
+// so that page-size bookkeeping lives in exactly one place.
+package mem
+
+import "fmt"
+
+// Page-size constants for the x86-64 three-level page-size hierarchy.
+const (
+	// Shift4K is the bit width of the offset within a 4 KiB base page.
+	Shift4K = 12
+	// Shift2M is the bit width of the offset within a 2 MiB huge page.
+	Shift2M = 21
+	// Shift1G is the bit width of the offset within a 1 GiB giga page.
+	Shift1G = 30
+
+	// Size4K is the base page size in bytes.
+	Size4K uint64 = 1 << Shift4K
+	// Size2M is the huge page size in bytes.
+	Size2M uint64 = 1 << Shift2M
+	// Size1G is the giga page size in bytes.
+	Size1G uint64 = 1 << Shift1G
+
+	// PagesPer2M is the number of base pages covered by one 2 MiB page.
+	PagesPer2M uint64 = Size2M / Size4K // 512
+	// PagesPer1G is the number of base pages covered by one 1 GiB page.
+	PagesPer1G uint64 = Size1G / Size4K // 262144
+
+	// VirtAddrBits is the number of meaningful virtual address bits in
+	// the classical x86-64 4-level paging scheme.
+	VirtAddrBits = 48
+	// PhysAddrBits is the number of physical address bits the PTE layout
+	// reserves for the page frame number field (Fig. 4 of the paper).
+	PhysAddrBits = 52
+)
+
+// VirtAddr is a byte-granular virtual address.
+type VirtAddr uint64
+
+// PhysAddr is a byte-granular physical address.
+type PhysAddr uint64
+
+// VPN is a virtual page number: a virtual address shifted right by Shift4K.
+// All VPNs in the simulator are in units of 4 KiB base pages regardless of
+// the page size that maps them.
+type VPN uint64
+
+// PFN is a physical frame number in units of 4 KiB base frames.
+type PFN uint64
+
+// PageClass identifies one of the supported hardware page sizes.
+type PageClass uint8
+
+// The supported page classes, ordered by size.
+const (
+	Class4K PageClass = iota
+	Class2M
+	Class1G
+)
+
+// String returns the conventional name of the page class.
+func (c PageClass) String() string {
+	switch c {
+	case Class4K:
+		return "4K"
+	case Class2M:
+		return "2M"
+	case Class1G:
+		return "1G"
+	default:
+		return fmt.Sprintf("PageClass(%d)", uint8(c))
+	}
+}
+
+// Shift returns the offset width of the page class.
+func (c PageClass) Shift() uint {
+	switch c {
+	case Class4K:
+		return Shift4K
+	case Class2M:
+		return Shift2M
+	case Class1G:
+		return Shift1G
+	default:
+		panic("mem: invalid PageClass")
+	}
+}
+
+// Size returns the page size in bytes.
+func (c PageClass) Size() uint64 { return uint64(1) << c.Shift() }
+
+// BasePages returns how many 4 KiB base pages the class covers.
+func (c PageClass) BasePages() uint64 { return c.Size() / Size4K }
+
+// PageNumber returns the 4 KiB virtual page number containing the address.
+func (a VirtAddr) PageNumber() VPN { return VPN(a >> Shift4K) }
+
+// Offset returns the byte offset of the address within its 4 KiB page.
+func (a VirtAddr) Offset() uint64 { return uint64(a) & (Size4K - 1) }
+
+// PageNumber returns the 4 KiB physical frame number containing the address.
+func (a PhysAddr) PageNumber() PFN { return PFN(a >> Shift4K) }
+
+// Offset returns the byte offset of the address within its 4 KiB frame.
+func (a PhysAddr) Offset() uint64 { return uint64(a) & (Size4K - 1) }
+
+// Addr returns the first virtual address of the page.
+func (v VPN) Addr() VirtAddr { return VirtAddr(v << Shift4K) }
+
+// Addr returns the first physical address of the frame.
+func (p PFN) Addr() PhysAddr { return PhysAddr(p << Shift4K) }
+
+// AlignDown rounds v down to a multiple of align pages.
+// align must be a power of two.
+func (v VPN) AlignDown(align uint64) VPN {
+	return VPN(uint64(v) &^ (align - 1))
+}
+
+// AlignUp rounds v up to a multiple of align pages.
+// align must be a power of two.
+func (v VPN) AlignUp(align uint64) VPN {
+	return VPN((uint64(v) + align - 1) &^ (align - 1))
+}
+
+// IsAligned reports whether v is a multiple of align pages.
+func (v VPN) IsAligned(align uint64) bool { return uint64(v)&(align-1) == 0 }
+
+// AlignDown rounds p down to a multiple of align frames.
+func (p PFN) AlignDown(align uint64) PFN {
+	return PFN(uint64(p) &^ (align - 1))
+}
+
+// IsAligned reports whether p is a multiple of align frames.
+func (p PFN) IsAligned(align uint64) bool { return uint64(p)&(align-1) == 0 }
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x uint64) bool { return x != 0 && x&(x-1) == 0 }
+
+// Log2 returns floor(log2(x)). It panics if x == 0.
+func Log2(x uint64) uint {
+	if x == 0 {
+		panic("mem: Log2 of zero")
+	}
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// NextPow2 returns the smallest power of two >= x (and 1 for x == 0).
+func NextPow2(x uint64) uint64 {
+	if x <= 1 {
+		return 1
+	}
+	p := uint64(1)
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+// HumanBytes renders a byte count using binary units (KiB, MiB, GiB).
+func HumanBytes(b uint64) string {
+	switch {
+	case b >= Size1G && b%Size1G == 0:
+		return fmt.Sprintf("%dGiB", b/Size1G)
+	case b >= Size2M && b%Size2M == 0:
+		return fmt.Sprintf("%dMiB", b/(1<<20))
+	case b >= 1024 && b%1024 == 0:
+		return fmt.Sprintf("%dKiB", b/1024)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// HumanPages renders a page count as a short string (e.g. "16", "2K", "64K"),
+// matching the formatting of Table 6 in the paper.
+func HumanPages(pages uint64) string {
+	switch {
+	case pages >= 1<<20 && pages%(1<<20) == 0:
+		return fmt.Sprintf("%dM", pages>>20)
+	case pages >= 1<<10 && pages%(1<<10) == 0:
+		return fmt.Sprintf("%dK", pages>>10)
+	default:
+		return fmt.Sprintf("%d", pages)
+	}
+}

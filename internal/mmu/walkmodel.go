@@ -1,0 +1,146 @@
+package mmu
+
+import (
+	"hybridtlb/internal/cache"
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/osmem"
+)
+
+// WalkModel optionally replaces the flat Table 3 walk latency (50 cycles)
+// with a detailed model: the hardware walker's PTE fetches go through a
+// data-cache hierarchy, and a page-walk cache (PWC, Intel's
+// paging-structure caches / Barr et al.'s translation caching) skips the
+// upper levels whose entries it holds. The paper's evaluation uses the
+// flat latency; this model backs the walk-latency ablation and shows why
+// 50 cycles is a reasonable average.
+type WalkModel struct {
+	hierarchy *cache.Hierarchy
+	pwc       *pwc
+	walks     uint64
+	cycles    uint64
+}
+
+// NewWalkModel builds a detailed walk model with a conventional memory
+// subsystem for translation data: a 32 KiB 8-way L1D slice, a 1 MiB
+// 16-way L2 slice, a 200-cycle memory access, and a 32-entry PWC per
+// upper level.
+func NewWalkModel() *WalkModel {
+	h := cache.NewHierarchy(200).
+		AddLevel(cache.New(32<<10, 8), 4).
+		AddLevel(cache.New(1<<20, 16), 14)
+	return &WalkModel{hierarchy: h, pwc: newPWC(32)}
+}
+
+// Cost computes the walk latency for vpn against the process's page
+// table: the PWC supplies the deepest cached upper level, and the
+// remaining PTE fetches go through the cache hierarchy.
+func (m *WalkModel) Cost(proc *osmem.Process, vpn mem.VPN) uint64 {
+	lines := proc.PageTable().WalkLines(vpn)
+	if len(lines) == 0 {
+		return m.hierarchy.Access(0) // degenerate: empty table root fetch
+	}
+	// The PWC can skip fetches of the upper (non-leaf) levels.
+	skip := m.pwc.deepestHit(vpn, len(lines)-1)
+	var cycles uint64
+	for i := skip; i < len(lines); i++ {
+		cycles += m.hierarchy.Access(cache.LineOf(lines[i]))
+	}
+	m.pwc.fill(vpn, len(lines)-1)
+	m.walks++
+	m.cycles += cycles
+	return cycles
+}
+
+// AverageCycles reports the mean walk latency observed so far.
+func (m *WalkModel) AverageCycles() float64 {
+	if m.walks == 0 {
+		return 0
+	}
+	return float64(m.cycles) / float64(m.walks)
+}
+
+// Flush empties the caches (a full reset).
+func (m *WalkModel) Flush() {
+	m.hierarchy.Flush()
+	m.pwc.flush()
+}
+
+// FlushTranslations empties only the PWC: data caches are physically
+// tagged and survive TLB shootdowns, but paging-structure entries are
+// translations and must go.
+func (m *WalkModel) FlushTranslations() { m.pwc.flush() }
+
+// pwc models the paging-structure caches: one small fully associative
+// LRU array per upper level, keyed by the VA prefix that selects the
+// entry at that level. A hit at depth k means the walker can start from
+// level k (0 = root, so no skip).
+type pwc struct {
+	capacity int
+	// levels[k] caches prefixes covering levels 0..k (k in 1..3):
+	// level 1 = PML4E cached (skip 1 fetch), 2 = PDPTE, 3 = PDE.
+	levels [4]map[uint64]uint64 // prefix -> lru stamp
+	clock  uint64
+}
+
+func newPWC(capacity int) *pwc {
+	p := &pwc{capacity: capacity}
+	for i := range p.levels {
+		p.levels[i] = make(map[uint64]uint64, capacity)
+	}
+	return p
+}
+
+// prefix extracts the VA prefix that identifies the entry feeding level
+// depth (depth fetches skipped means the walker resumes below the entry
+// selected by this prefix).
+func pwcPrefix(vpn mem.VPN, depth int) uint64 {
+	// VPN has 36 meaningful bits (48-bit VA, 4 KiB pages): PML4 index is
+	// bits [27,36), PDPT [18,27), PD [9,18).
+	return uint64(vpn) >> uint(36-9*depth)
+}
+
+// deepestHit returns how many upper-level fetches can be skipped for vpn
+// (0..maxSkip).
+func (p *pwc) deepestHit(vpn mem.VPN, maxSkip int) int {
+	if maxSkip > 3 {
+		maxSkip = 3
+	}
+	for depth := maxSkip; depth >= 1; depth-- {
+		key := pwcPrefix(vpn, depth)
+		if _, ok := p.levels[depth][key]; ok {
+			p.clock++
+			p.levels[depth][key] = p.clock
+			return depth
+		}
+	}
+	return 0
+}
+
+// fill records the prefixes the walk resolved, up to the leaf's parent.
+func (p *pwc) fill(vpn mem.VPN, maxDepth int) {
+	if maxDepth > 3 {
+		maxDepth = 3
+	}
+	for depth := 1; depth <= maxDepth; depth++ {
+		key := pwcPrefix(vpn, depth)
+		p.clock++
+		if _, ok := p.levels[depth][key]; !ok && len(p.levels[depth]) >= p.capacity {
+			// Evict the LRU prefix.
+			var victim uint64
+			oldest := p.clock + 1
+			for k, stamp := range p.levels[depth] {
+				if stamp < oldest {
+					oldest, victim = stamp, k
+				}
+			}
+			delete(p.levels[depth], victim)
+		}
+		p.levels[depth][key] = p.clock
+	}
+}
+
+func (p *pwc) flush() {
+	for i := range p.levels {
+		p.levels[i] = make(map[uint64]uint64, p.capacity)
+	}
+}

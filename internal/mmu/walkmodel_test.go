@@ -1,0 +1,110 @@
+package mmu
+
+import (
+	"testing"
+
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/osmem"
+)
+
+func walkModelProc(t *testing.T, pages uint64) *osmem.Process {
+	t.Helper()
+	proc := osmem.NewProcess(osmem.Policy{})
+	if err := proc.InstallChunks(mem.ChunkList{{StartVPN: 0x10000, StartPFN: 1 << 22, Pages: pages}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	return proc
+}
+
+func TestWalkModelColdVsWarm(t *testing.T) {
+	proc := walkModelProc(t, 1<<12)
+	wm := NewWalkModel()
+	cold := wm.Cost(proc, 0x10000)
+	// Cold: 4 uncached PTE fetches, each missing both cache levels.
+	if want := uint64(4 * (4 + 14 + 200)); cold != want {
+		t.Errorf("cold walk = %d cycles, want %d", cold, want)
+	}
+	// Immediately repeated: PWC skips 3 levels, leaf line is in L1D.
+	warm := wm.Cost(proc, 0x10000)
+	if warm != 4 {
+		t.Errorf("warm walk = %d cycles, want 4 (one L1D hit)", warm)
+	}
+	// Neighbouring page in the same PTE cache block: also a 4-cycle walk.
+	if got := wm.Cost(proc, 0x10001); got != 4 {
+		t.Errorf("same-line neighbour walk = %d cycles", got)
+	}
+	// Page under the next PD entry: the PWC covers down to the PDPTE
+	// (skip 2), the PD line is already in L1D (adjacent PDE), and only
+	// the new PT leaf line goes to memory.
+	if got := wm.Cost(proc, 0x10000+512); got != 4+(4+14+200) {
+		t.Errorf("new-leaf walk = %d cycles, want 222", got)
+	}
+	if wm.AverageCycles() <= 0 {
+		t.Error("no average reported")
+	}
+}
+
+func TestWalkModelFlushes(t *testing.T) {
+	proc := walkModelProc(t, 64)
+	wm := NewWalkModel()
+	wm.Cost(proc, 0x10000)
+	// A translation flush empties the PWC but keeps the data caches: the
+	// next walk re-fetches all 4 levels, but the lines hit in L1D.
+	wm.FlushTranslations()
+	if got := wm.Cost(proc, 0x10000); got != 4*4 {
+		t.Errorf("post-PWC-flush walk = %d cycles, want 16", got)
+	}
+	wm.Flush()
+	if got := wm.Cost(proc, 0x10000); got != 4*(4+14+200) {
+		t.Errorf("post-full-flush walk = %d cycles", got)
+	}
+}
+
+func TestWalkModelIntegration(t *testing.T) {
+	// An MMU configured with the detailed model produces variable walk
+	// costs and the same translations.
+	proc := walkModelProc(t, 1<<10)
+	cfg := DefaultConfig()
+	cfg.Walk = NewWalkModel()
+	m := New(Base, cfg, proc)
+
+	first := m.Translate(0x10000)
+	if first.Outcome != OutWalk || first.Cycles != 4*(4+14+200) {
+		t.Fatalf("first access = %+v", first)
+	}
+	// Different page, far away: upper levels now PWC-cached.
+	second := m.Translate(0x10000 + 800)
+	if second.Outcome != OutWalk {
+		t.Fatalf("second access = %+v", second)
+	}
+	if second.Cycles >= first.Cycles {
+		t.Errorf("PWC did not reduce the second walk: %d vs %d", second.Cycles, first.Cycles)
+	}
+	want, _ := proc.Translate(0x10000 + 800)
+	if second.PFN != want {
+		t.Error("detailed walk mistranslated")
+	}
+	// OS-initiated flush reaches the PWC via the registered hook.
+	costBefore := m.Translate(0x10000 + 801).Cycles // L1 TLB hit, 0 cycles
+	_ = costBefore
+	proc.UnmapRange(0x10000+900, 1) // triggers shootdowns, not full flush
+	res := m.Translate(0x10000 + 802)
+	if res.Outcome == OutFault {
+		t.Fatal("unexpected fault")
+	}
+}
+
+func TestWalkModelAverageConvergesBelowFlatCost(t *testing.T) {
+	// With locality, PWC + caches make the average walk much cheaper
+	// than 4 memory accesses; the paper's flat 50 cycles sits between
+	// the warm and cold extremes.
+	proc := walkModelProc(t, 1<<14)
+	wm := NewWalkModel()
+	for v := mem.VPN(0); v < 1<<14; v++ {
+		wm.Cost(proc, 0x10000+v)
+	}
+	avg := wm.AverageCycles()
+	if avg < 4 || avg > 200 {
+		t.Errorf("average sequential walk = %.1f cycles; implausible", avg)
+	}
+}

@@ -1,0 +1,107 @@
+package osmem
+
+import (
+	"time"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/pagetable"
+)
+
+// This file implements anchor distance management ("Anchor Distance
+// Change", Section 3.3): the OS periodically re-runs the selection
+// algorithm on the current contiguity histogram and, if the best distance
+// differs from the current one, sweeps the page table to rewrite anchor
+// entries at the new alignment and flushes the TLBs.
+
+// SweepCostModel converts a sweep's work counters into wall-clock time.
+// The default is calibrated against the paper's measurement: sweeping a
+// 30 GiB mapping costs 452 ms / 71.7 ms / 1.7 ms when changing to
+// distances 8 / 64 / 512 — roughly linear in the number of anchors
+// visited (the strided sweep touches only distance-aligned entries).
+type SweepCostModel struct {
+	// AnchorNanos is the cost per anchor visited: fetching the PTE cache
+	// block, computing contiguity from the VMA tree, and writing the
+	// entry.
+	AnchorNanos float64
+	// FlushNanos is the fixed cost of the whole-TLB invalidation that
+	// ends the sweep.
+	FlushNanos float64
+}
+
+// DefaultSweepCost is calibrated to the paper's 30 GiB measurements.
+var DefaultSweepCost = SweepCostModel{AnchorNanos: 460, FlushNanos: 50_000}
+
+// Estimate converts sweep counters to time.
+func (m SweepCostModel) Estimate(r pagetable.SweepResult) time.Duration {
+	ns := float64(r.AnchorsVisited)*m.AnchorNanos + m.FlushNanos
+	return time.Duration(ns)
+}
+
+// ChangeDistance switches the process to a new anchor distance: it
+// rewrites all anchor entries at the new alignment (a strided page table
+// sweep) and flushes the TLBs. It returns the sweep work counters and the
+// modeled wall-clock cost.
+func (p *Process) ChangeDistance(d uint64, costModel SweepCostModel) (pagetable.SweepResult, time.Duration) {
+	if !core.ValidDistance(d) {
+		panic("osmem: invalid anchor distance")
+	}
+	p.regions = nil // back to a single process-wide distance
+	p.dist = d
+	p.distanceChanges++
+	res := p.sweepAnchors()
+	p.flushTLBs()
+	return res, costModel.Estimate(res)
+}
+
+// sweepAnchors rewrites every anchor for the current distance, deriving
+// contiguity from the chunk list (run length from the anchor to its
+// chunk's end).
+func (p *Process) sweepAnchors() pagetable.SweepResult {
+	return p.pt.SweepAnchors(p.dist, p.anchorRun)
+}
+
+// ReselectResult reports one periodic distance re-evaluation.
+type ReselectResult struct {
+	Previous uint64
+	Selected uint64
+	Changed  bool
+	Sweep    pagetable.SweepResult
+	Cost     time.Duration
+}
+
+// Reselect runs the periodic distance check (the paper evaluates it every
+// one billion instructions): it recomputes the best distance from the
+// current contiguity histogram and changes the distance only when the
+// selection differs from the current value.
+func (p *Process) Reselect(costModel SweepCostModel) ReselectResult {
+	res := ReselectResult{Previous: p.dist}
+	if !p.policy.Anchors || len(p.regions) > 0 {
+		// Multi-region processes keep their per-region distances;
+		// periodic re-partitioning is future work (as in the paper).
+		res.Selected = p.dist
+		return res
+	}
+	best, _ := core.SelectDistanceModel(p.Histogram(), p.policy.Cost)
+	res.Selected = best
+	if best != p.dist {
+		res.Changed = true
+		res.Sweep, res.Cost = p.ChangeDistance(best, costModel)
+	}
+	return res
+}
+
+// SetDistance pins the anchor distance without a full reinstall, sweeping
+// anchors at the new alignment (used by the static-ideal configuration's
+// exhaustive search).
+func (p *Process) SetDistance(d uint64) {
+	if !core.ValidDistance(d) {
+		panic("osmem: invalid anchor distance")
+	}
+	if d == p.dist && len(p.regions) == 0 {
+		return
+	}
+	p.regions = nil
+	p.dist = d
+	p.sweepAnchors()
+	p.flushTLBs()
+}

@@ -1,0 +1,194 @@
+package osmem
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/pagetable"
+)
+
+// This file implements the permission handling of Section 3.3
+// ("Permission and Page Sharing"): even when a mapping is physically
+// contiguous, pages may carry different r/w/x permissions, and an anchor
+// entry — which supplies permissions for every page it covers — must not
+// span a permission boundary. "Hybrid coalescing can support any
+// fine-grained permission, by simply treating a page with a different
+// permission as the non-contiguous page."
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtExec  Prot = 1 << 2
+
+	// ProtDefault is the protection pages receive when none is set
+	// explicitly (normal read-write data).
+	ProtDefault = ProtRead | ProtWrite
+)
+
+// String renders the protection in ls -l style.
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// flags converts the protection to PTE flag bits.
+func (p Prot) flags() pagetable.PTE {
+	f := pagetable.FlagPresent | pagetable.FlagUser
+	if p&ProtWrite != 0 {
+		f |= pagetable.FlagWrite
+	}
+	if p&ProtExec == 0 {
+		f |= pagetable.FlagNX
+	}
+	return f
+}
+
+// protRange is one maximal run of pages with uniform protection.
+type protRange struct {
+	start mem.VPN
+	end   mem.VPN
+	prot  Prot
+}
+
+// ProtectionAt returns the protection of a page (ProtDefault when never
+// set explicitly).
+func (p *Process) ProtectionAt(vpn mem.VPN) Prot {
+	i := sort.Search(len(p.prots), func(i int) bool { return p.prots[i].end > vpn })
+	if i < len(p.prots) && vpn >= p.prots[i].start {
+		return p.prots[i].prot
+	}
+	return ProtDefault
+}
+
+// protBoundary returns the first VPN >= from where the protection in
+// effect changes (or stays unbounded at `to` if none before it).
+func (p *Process) protBoundary(from, to mem.VPN) mem.VPN {
+	cur := p.ProtectionAt(from)
+	for _, r := range p.prots {
+		if r.end <= from {
+			continue
+		}
+		if r.start > from && r.start < to && r.prot != cur {
+			return r.start
+		}
+		if r.start <= from && r.end < to && r.end > from {
+			// Protection changes at the end of the containing range
+			// unless the next range continues with the same protection.
+			if p.ProtectionAt(r.end) != cur {
+				return r.end
+			}
+		}
+	}
+	return to
+}
+
+// SetProtection changes the protection of [start, start+pages): PTE flags
+// are rewritten, anchors whose runs cross the new boundary are re-clamped
+// (an anchor entry must supply one uniform permission), and the affected
+// TLB entries are shot down. 2 MiB pages overlapping a partial-protection
+// change are demoted first.
+func (p *Process) SetProtection(start mem.VPN, pages uint64, prot Prot) error {
+	if pages == 0 {
+		return fmt.Errorf("osmem: empty protection range")
+	}
+	end := start + mem.VPN(pages)
+
+	// Record the range (split/merge the sorted list).
+	var next []protRange
+	for _, r := range p.prots {
+		if r.end <= start || r.start >= end {
+			next = append(next, r)
+			continue
+		}
+		if r.start < start {
+			next = append(next, protRange{r.start, start, r.prot})
+		}
+		if r.end > end {
+			next = append(next, protRange{end, r.end, r.prot})
+		}
+	}
+	next = append(next, protRange{start, end, prot})
+	sort.Slice(next, func(i, j int) bool { return next[i].start < next[j].start })
+	p.prots = next
+
+	// Rewrite leaf flags for mapped pages in the range; demote huge pages
+	// that the boundary cuts through.
+	for _, c := range p.chunks {
+		lo, hi := maxVPN(c.StartVPN, start), minVPN(c.EndVPN(), end)
+		if lo >= hi {
+			continue
+		}
+		p.demoteHugeForProt(lo, hi, c)
+		for v := lo; v < hi; v++ {
+			if !p.IsHugeMapped(v) {
+				p.pt.Map4K(v, c.Translate(v), prot.flags())
+				p.shootdown(v)
+			}
+		}
+	}
+
+	// Re-clamp anchors: any anchor whose run could cross the new
+	// boundaries must stop at them.
+	if p.policy.Anchors {
+		from := mem.VPN(0)
+		if start > mem.VPN(pagetable.MaxContiguity) {
+			from = start - mem.VPN(pagetable.MaxContiguity)
+		}
+		p.rewriteAnchorsIn(from, end)
+	}
+	return nil
+}
+
+// demoteHugeForProt demotes 2 MiB pages overlapping [lo, hi) whose span
+// is not fully inside the range (a permission boundary inside a huge page
+// forces 4 KiB granularity), and also those fully inside (their PTE flags
+// change wholesale, which a demotion handles uniformly here).
+func (p *Process) demoteHugeForProt(lo, hi mem.VPN, c mem.Chunk) {
+	for base := lo.AlignDown(mem.PagesPer2M); base < hi; base += mem.VPN(mem.PagesPer2M) {
+		pfn, ok := p.huge[base]
+		if !ok {
+			continue
+		}
+		p.pt.Unmap(base)
+		p.shootdown(base)
+		delete(p.huge, base)
+		for off := mem.VPN(0); off < mem.VPN(mem.PagesPer2M); off++ {
+			v := base + off
+			if !c.Contains(v) {
+				continue
+			}
+			p.pt.Map4K(v, pfn+mem.PFN(off), p.ProtectionAt(v).flags())
+		}
+	}
+}
+
+// anchorRun returns the contiguity an anchor at avpn may advertise: the
+// physical run to its chunk's end, clamped at the first permission
+// boundary (Section 3.3) and excluding huge-mapped anchors.
+func (p *Process) anchorRun(avpn mem.VPN) uint64 {
+	c, ok := p.chunks.Lookup(avpn)
+	if !ok || p.IsHugeMapped(avpn) {
+		return 0
+	}
+	end := c.EndVPN()
+	if len(p.prots) > 0 {
+		if b := p.protBoundary(avpn, end); b < end {
+			end = b
+		}
+	}
+	return uint64(end - avpn)
+}

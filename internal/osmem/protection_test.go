@@ -1,0 +1,240 @@
+package osmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/pagetable"
+)
+
+func TestProtString(t *testing.T) {
+	cases := map[Prot]string{
+		0:                               "---",
+		ProtRead:                        "r--",
+		ProtRead | ProtWrite:            "rw-",
+		ProtRead | ProtExec:             "r-x",
+		ProtRead | ProtWrite | ProtExec: "rwx",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestProtectionAtDefaults(t *testing.T) {
+	p := NewProcess(Policy{Anchors: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 1 << 20, Pages: 128}}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ProtectionAt(10); got != ProtDefault {
+		t.Errorf("default protection = %v", got)
+	}
+	if err := p.SetProtection(32, 16, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ProtectionAt(40); got != ProtRead {
+		t.Errorf("protection = %v, want r--", got)
+	}
+	if got := p.ProtectionAt(48); got != ProtDefault {
+		t.Errorf("protection past range = %v, want default", got)
+	}
+	if err := p.SetProtection(0, 0, ProtRead); err == nil {
+		t.Error("empty protection range accepted")
+	}
+}
+
+func TestSetProtectionUpdatesPTEFlags(t *testing.T) {
+	p := NewProcess(Policy{Anchors: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 1 << 20, Pages: 64}}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetProtection(8, 8, ProtRead|ProtExec); err != nil {
+		t.Fatal(err)
+	}
+	w := p.PageTable().Walk(10)
+	if !w.Present {
+		t.Fatal("page lost")
+	}
+	if w.Entry&pagetable.FlagWrite != 0 {
+		t.Error("write bit still set on read-only page")
+	}
+	if w.Entry&pagetable.FlagNX != 0 {
+		t.Error("NX set on executable page")
+	}
+	w = p.PageTable().Walk(20)
+	if w.Entry&pagetable.FlagWrite == 0 {
+		t.Error("untouched page lost write permission")
+	}
+}
+
+// TestAnchorsRespectPermissionBoundaries is the Section 3.3 requirement:
+// an anchor's contiguity must stop at a permission change even though the
+// physical mapping is contiguous.
+func TestAnchorsRespectPermissionBoundaries(t *testing.T) {
+	p := NewProcess(Policy{Anchors: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 1 << 20, Pages: 128}}, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-protection: anchor at 0 covers to the chunk end.
+	if got := p.PageTable().AnchorContiguity(0, 16); got != 128 {
+		t.Fatalf("initial contiguity = %d", got)
+	}
+	// Make [40, 56) read-only: anchor at 32 must now stop at 40.
+	if err := p.SetProtection(40, 16, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PageTable().AnchorContiguity(32, 16); got != 8 {
+		t.Errorf("anchor 32 contiguity = %d, want 8 (clamped at permission boundary)", got)
+	}
+	if got := p.PageTable().AnchorContiguity(0, 16); got != 40 {
+		t.Errorf("anchor 0 contiguity = %d, want 40", got)
+	}
+	// The anchor at 48 sits inside the read-only region: its run stops
+	// where the default protection resumes (56).
+	if got := p.PageTable().AnchorContiguity(48, 16); got != 8 {
+		t.Errorf("anchor 48 contiguity = %d, want 8", got)
+	}
+	// Past the region, coverage runs to the chunk end again.
+	if got := p.PageTable().AnchorContiguity(64, 16); got != 64 {
+		t.Errorf("anchor 64 contiguity = %d, want 64", got)
+	}
+	// Anchor coverage never spans the boundary.
+	if core.Covered(44, 32, p.PageTable().AnchorContiguity(32, 16)) {
+		t.Error("anchor covers page with different permission")
+	}
+}
+
+func TestSetProtectionShootsDownTLBEntries(t *testing.T) {
+	p := NewProcess(Policy{Anchors: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 1 << 20, Pages: 64}}, 16); err != nil {
+		t.Fatal(err)
+	}
+	var invalidated []mem.VPN
+	p.OnInvalidate(func(v mem.VPN) { invalidated = append(invalidated, v) })
+	if err := p.SetProtection(16, 4, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if len(invalidated) == 0 {
+		t.Fatal("no shootdowns for protection change")
+	}
+	seen := make(map[mem.VPN]bool)
+	for _, v := range invalidated {
+		seen[v] = true
+	}
+	for v := mem.VPN(16); v < 20; v++ {
+		if !seen[v] {
+			t.Errorf("page %d not shot down", v)
+		}
+	}
+}
+
+func TestSetProtectionDemotesHugePages(t *testing.T) {
+	p := NewProcess(Policy{THP: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 0, Pages: 1024}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.HugePages() != 2 {
+		t.Fatalf("huge pages = %d, want 2", p.HugePages())
+	}
+	if err := p.SetProtection(100, 10, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if p.HugePages() != 1 {
+		t.Errorf("huge pages after protection split = %d, want 1", p.HugePages())
+	}
+	// Every page still maps to the right frame with the right flags.
+	for _, v := range []mem.VPN{50, 105, 300, 700} {
+		w := p.PageTable().Walk(v)
+		if !w.Present || w.PFN != mem.PFN(v) {
+			t.Fatalf("walk(%d) = %+v", v, w)
+		}
+	}
+	if w := p.PageTable().Walk(105); w.Entry&pagetable.FlagWrite != 0 {
+		t.Error("read-only page inside demoted huge page kept write bit")
+	}
+	if w := p.PageTable().Walk(300); w.Entry&pagetable.FlagWrite == 0 {
+		t.Error("rw page inside demoted huge page lost write bit")
+	}
+}
+
+func TestProtBoundarySearch(t *testing.T) {
+	p := NewProcess(Policy{Anchors: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 1 << 20, Pages: 256}}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetProtection(100, 20, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.protBoundary(0, 256); got != 100 {
+		t.Errorf("boundary from 0 = %d, want 100", got)
+	}
+	if got := p.protBoundary(100, 256); got != 120 {
+		t.Errorf("boundary from 100 = %d, want 120", got)
+	}
+	if got := p.protBoundary(120, 256); got != 256 {
+		t.Errorf("boundary from 120 = %d, want 256 (none)", got)
+	}
+	// Adjacent ranges with the SAME protection are not a boundary.
+	if err := p.SetProtection(120, 20, ProtDefault); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.protBoundary(125, 256); got != 256 {
+		t.Errorf("same-prot adjacency reported boundary at %d", got)
+	}
+}
+
+// TestProtectionModelBased compares the range-list bookkeeping against a
+// brute-force per-page map across random overlapping SetProtection calls.
+func TestProtectionModelBased(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const span = 4096
+	p := NewProcess(Policy{Anchors: true})
+	if err := p.InstallChunks(mem.ChunkList{{StartVPN: 0, StartPFN: 1 << 20, Pages: span}}, 16); err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[mem.VPN]Prot)
+	prots := []Prot{ProtRead, ProtRead | ProtWrite, ProtRead | ProtExec, ProtRead | ProtWrite | ProtExec}
+	for step := 0; step < 200; step++ {
+		start := mem.VPN(r.Intn(span))
+		pages := uint64(1 + r.Intn(256))
+		if uint64(start)+pages > span {
+			pages = span - uint64(start)
+		}
+		prot := prots[r.Intn(len(prots))]
+		if err := p.SetProtection(start, pages, prot); err != nil {
+			t.Fatal(err)
+		}
+		for v := start; v < start+mem.VPN(pages); v++ {
+			ref[v] = prot
+		}
+		// Spot-check 64 random pages against the reference.
+		for i := 0; i < 64; i++ {
+			v := mem.VPN(r.Intn(span))
+			want, ok := ref[v]
+			if !ok {
+				want = ProtDefault
+			}
+			if got := p.ProtectionAt(v); got != want {
+				t.Fatalf("step %d: ProtectionAt(%d) = %v, want %v", step, v, got, want)
+			}
+		}
+	}
+	// Every anchor's coverage must stop at the first reference-model
+	// protection change.
+	pt := p.PageTable()
+	for avpn := mem.VPN(0); avpn < span; avpn += 16 {
+		c := pt.AnchorContiguity(avpn, 16)
+		if c == 0 {
+			continue
+		}
+		base := p.ProtectionAt(avpn)
+		for off := mem.VPN(0); off < mem.VPN(c) && avpn+off < span; off++ {
+			if p.ProtectionAt(avpn+off) != base {
+				t.Fatalf("anchor %d (contig %d) covers protection change at +%d", avpn, c, off)
+			}
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/osmem"
+	"hybridtlb/internal/sim"
+)
+
+// Fig1 reproduces Figure 1: cumulative distributions of contiguous chunk
+// sizes for two workload footprints, running alone and with increasing
+// background job pressure. The paper captured canneal on a 4-socket and
+// raytrace on a 2-socket machine; we substitute their footprints under
+// the buddy-allocator demand-paging model.
+type Fig1Series struct {
+	Label    string
+	Pressure float64
+	CDF      []mem.CDFPoint
+}
+
+// Fig1Data computes the CDF series for one footprint at several pressure
+// levels.
+func Fig1Data(footprintPages uint64, seed int64) ([]Fig1Series, error) {
+	var out []Fig1Series
+	for _, p := range []struct {
+		label    string
+		pressure float64
+	}{
+		{"alone", 0},
+		{"bg-low", 0.3},
+		{"bg-mid", 0.6},
+		{"bg-high", 0.9},
+	} {
+		cl, err := mapping.Generate(mapping.Demand, mapping.Config{
+			FootprintPages: footprintPages,
+			Seed:           seed,
+			Pressure:       p.pressure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig1Series{
+			Label:    p.label,
+			Pressure: p.pressure,
+			CDF:      mem.BuildHistogram(cl).CDF(),
+		})
+	}
+	return out, nil
+}
+
+func runFig1(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	for _, wl := range []struct {
+		name      string
+		footprint uint64
+	}{
+		{"canneal (4-socket stand-in)", 940 << 8},
+		{"raytrace (2-socket stand-in)", 1300 << 8},
+	} {
+		series, err := Fig1Data(wl.footprint, opts.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Figure 1: chunk-size CDF, %s\n", wl.name)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "series\tchunks<=16\tchunks<=512\tchunks<=4096\tmax-chunk")
+		for _, s := range series {
+			fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%d\n",
+				s.Label, cdfAt(s.CDF, 16), cdfAt(s.CDF, 512), cdfAt(s.CDF, 4096), maxChunk(s.CDF))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func cdfAt(cdf []mem.CDFPoint, pages uint64) float64 {
+	frac := 0.0
+	for _, pt := range cdf {
+		if pt.ChunkPages > pages {
+			break
+		}
+		frac = pt.CumFraction
+	}
+	return frac
+}
+
+func maxChunk(cdf []mem.CDFPoint) uint64 {
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].ChunkPages
+}
+
+// Fig2 reproduces the motivation figure: relative TLB misses of the
+// baseline, cluster and RMM at small (low), medium and large (high)
+// contiguity, averaged over the suite.
+func runFig2(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "Figure 2: relative TLB misses of prior techniques (% of base)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mapping\tbase\tcluster\trmm")
+	for _, sc := range []mapping.Scenario{mapping.Low, mapping.Medium, mapping.High} {
+		sums := map[mmu.Scheme]float64{}
+		n := 0
+		for _, spec := range opts.suite() {
+			cfg := opts.baseConfig(spec, sc)
+			cfg.Scheme = mmu.Base
+			base, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			for _, s := range []mmu.Scheme{mmu.Base, mmu.Cluster, mmu.RMM} {
+				c := cfg
+				c.Scheme = s
+				res, err := sim.Run(c)
+				if err != nil {
+					return err
+				}
+				sums[s] += res.RelativeMisses(base)
+			}
+			n++
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\n", sc,
+			sums[mmu.Base]/float64(n), sums[mmu.Cluster]/float64(n), sums[mmu.RMM]/float64(n))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runTab1(w io.Writer, _ Options) error {
+	fmt.Fprintln(w, "Table 1: comparison of scalability and allocation flexibility")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "	THP	Cluster/CoLT	RMM	Anchor (this work)")
+	fmt.Fprintln(tw, "Scalability	Moderate	Moderate	Good	Good")
+	fmt.Fprintln(tw, "Flexibility	Moderate	Flexible	Restricted	Flexible")
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runTab3(w io.Writer, _ Options) error {
+	cfg := mmu.DefaultConfig()
+	fmt.Fprintln(w, "Table 3: TLB configuration")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "L1 4KB\t%d entries, %d-way\n", cfg.L1Entries4K, cfg.L1Ways4K)
+	fmt.Fprintf(tw, "L1 2MB\t%d entries, %d-way\n", cfg.L1Entries2M, cfg.L1Ways2M)
+	fmt.Fprintf(tw, "L2 shared\t%d entries, %d-way\n", cfg.L2Entries, cfg.L2Ways)
+	fmt.Fprintf(tw, "cluster regular\t%d entries, %d-way\n", cfg.ClusterRegularEntries, cfg.ClusterRegularWays)
+	fmt.Fprintf(tw, "cluster-8\t%d entries, %d-way\n", cfg.ClusterEntries, cfg.ClusterWays)
+	fmt.Fprintf(tw, "range TLB\t%d entries, fully associative\n", cfg.RangeEntries)
+	fmt.Fprintf(tw, "L2 hit\t%d cycles\n", cfg.L2HitCycles)
+	fmt.Fprintf(tw, "clust./RMM/anch. hit\t%d cycles\n", cfg.CoalescedHitCycles)
+	fmt.Fprintf(tw, "page table walk\t%d cycles\n", cfg.WalkCycles)
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runTab4(w io.Writer, _ Options) error {
+	fmt.Fprintln(w, "Table 4: synthetic mapping scenarios")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, sc := range []mapping.Scenario{mapping.Low, mapping.Medium, mapping.High} {
+		lo, hi := sc.ChunkRange()
+		fmt.Fprintf(tw, "%s contiguity\t%d - %d pages (%s - %s)\n",
+			sc, lo, hi, mem.HumanBytes(lo*mem.Size4K), mem.HumanBytes(hi*mem.Size4K))
+	}
+	fmt.Fprintln(tw, "max contiguity\tmaximum")
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runFig7(w io.Writer, opts Options) error {
+	fig, err := MissesByScenario(mapping.Demand, opts)
+	if err != nil {
+		return err
+	}
+	WriteMissFigure(w, "Figure 7: demand paging mapping", fig)
+	return nil
+}
+
+func runFig8(w io.Writer, opts Options) error {
+	fig, err := MissesByScenario(mapping.Medium, opts)
+	if err != nil {
+		return err
+	}
+	WriteMissFigure(w, "Figure 8: medium contiguity mapping", fig)
+	return nil
+}
+
+// Fig9Data computes the per-scenario mean relative misses for every
+// scheme column (the summary bar chart of Figure 9).
+func Fig9Data(opts Options) (map[mapping.Scenario]MissFigure, error) {
+	out := make(map[mapping.Scenario]MissFigure)
+	for _, sc := range mapping.All() {
+		fig, err := MissesByScenario(sc, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[sc] = fig
+	}
+	return out, nil
+}
+
+func runFig9(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	figs, err := Fig9Data(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 9: average relative TLB misses per mapping scenario (% of base)")
+	cols := figs[mapping.Demand].Columns
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "mapping")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, sc := range mapping.All() {
+		fmt.Fprint(tw, sc.String())
+		for _, c := range cols {
+			fmt.Fprintf(tw, "\t%.1f", figs[sc].Mean(c))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Tab5Row is one benchmark's L2 access breakdown under the anchor scheme.
+type Tab5Row struct {
+	Workload                    string
+	RegularHit, AnchorHit, Miss float64
+}
+
+// Tab5Data computes the Table 5 breakdown for one scenario.
+func Tab5Data(sc mapping.Scenario, opts Options) ([]Tab5Row, error) {
+	opts = opts.withDefaults()
+	var rows []Tab5Row
+	for _, spec := range opts.suite() {
+		cfg := opts.baseConfig(spec, sc)
+		cfg.Scheme = mmu.Anchor
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		reg, coal, miss := res.L2Breakdown()
+		rows = append(rows, Tab5Row{Workload: spec.Name, RegularHit: reg, AnchorHit: coal, Miss: miss})
+	}
+	return rows, nil
+}
+
+func runTab5(w io.Writer, opts Options) error {
+	fmt.Fprintln(w, "Table 5: L2 TLB hit/miss statistics of the anchor scheme")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\tdemand\t\t\tmedium\t\t")
+	fmt.Fprintln(tw, "benchmark\tR.hit\tA.hit\tL2 miss\tR.hit\tA.hit\tL2 miss")
+	demand, err := Tab5Data(mapping.Demand, opts)
+	if err != nil {
+		return err
+	}
+	medium, err := Tab5Data(mapping.Medium, opts)
+	if err != nil {
+		return err
+	}
+	for i := range demand {
+		d, m := demand[i], medium[i]
+		fmt.Fprintf(tw, "%s\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\n",
+			d.Workload, d.RegularHit*100, d.AnchorHit*100, d.Miss*100,
+			m.RegularHit*100, m.AnchorHit*100, m.Miss*100)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Tab6Data computes the anchor distance chosen by the dynamic selection
+// for every benchmark and scenario.
+func Tab6Data(opts Options) (map[string]map[mapping.Scenario]uint64, error) {
+	opts = opts.withDefaults()
+	out := make(map[string]map[mapping.Scenario]uint64)
+	for _, spec := range opts.suite() {
+		out[spec.Name] = make(map[mapping.Scenario]uint64)
+		for _, sc := range mapping.All() {
+			cl, err := mapping.Generate(sc, mapping.Config{
+				FootprintPages: spec.FootprintPages,
+				Seed:           opts.Seed,
+				Pressure:       opts.Pressure,
+				FineGrained:    spec.FineGrainedAlloc,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d, _ := core.SelectDistanceFromChunks(cl)
+			out[spec.Name][sc] = d
+		}
+	}
+	return out, nil
+}
+
+func runTab6(w io.Writer, opts Options) error {
+	data, err := Tab6Data(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 6: anchor distances selected by the dynamic selection algorithm (pages)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, sc := range mapping.All() {
+		fmt.Fprintf(tw, "\t%s", sc)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range sortedKeys(data) {
+		fmt.Fprint(tw, name)
+		for _, sc := range mapping.All() {
+			fmt.Fprintf(tw, "\t%s", mem.HumanPages(data[name][sc]))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// CPIFigure computes the per-benchmark translation CPI breakdowns for one
+// scenario across all scheme columns (Figures 10 and 11).
+func CPIFigure(sc mapping.Scenario, opts Options) (map[string]map[string]sim.CPIBreakdown, []string, error) {
+	opts = opts.withDefaults()
+	cols := Columns(opts.SkipStaticIdeal)
+	var colNames []string
+	for _, c := range cols {
+		colNames = append(colNames, c.Name)
+	}
+	out := make(map[string]map[string]sim.CPIBreakdown)
+	hw := mmu.DefaultConfig()
+	for _, spec := range opts.suite() {
+		out[spec.Name] = make(map[string]sim.CPIBreakdown)
+		cfg := opts.baseConfig(spec, sc)
+		for _, col := range cols {
+			res, err := col.run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[spec.Name][col.Name] = res.CPI(hw)
+		}
+	}
+	return out, colNames, nil
+}
+
+func runCPI(w io.Writer, title string, sc mapping.Scenario, opts Options) error {
+	data, cols, err := CPIFigure(sc, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (translation CPI totals per scheme)\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range sortedKeys(data) {
+		fmt.Fprint(tw, name)
+		for _, c := range cols {
+			b := data[name][c]
+			fmt.Fprintf(tw, "\t%.3f", b.Total())
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	// The paper plots each bar stacked into its three components; print
+	// the stack for the dynamic anchor column.
+	fmt.Fprintln(w, "\ndynamic-anchor CPI stack (L2-hit + anchor-hit + page-walk cycles/instr):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tL2 hit\tanchor hit\tpage walk\ttotal")
+	for _, name := range sortedKeys(data) {
+		b := data[name]["dynamic"]
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\n", name, b.L2Hit, b.Coalesced, b.Walk, b.Total())
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runFig10(w io.Writer, opts Options) error {
+	return runCPI(w, "Figure 10: CPI breakdown, demand paging", mapping.Demand, opts)
+}
+
+func runFig11(w io.Writer, opts Options) error {
+	return runCPI(w, "Figure 11: CPI breakdown, medium contiguity", mapping.Medium, opts)
+}
+
+// SweepCostRow is one distance-change measurement of the Section 3.3
+// experiment.
+type SweepCostRow struct {
+	Distance uint64
+	Anchors  uint64
+	Millis   float64
+}
+
+// SweepData models the cost of re-anchoring a footprint at the paper's
+// three distances (8 / 64 / 512) — Section 3.3 measures 452 ms / 71.7 ms
+// / 1.7 ms for 30 GiB.
+func SweepData(footprintPages uint64) ([]SweepCostRow, error) {
+	proc := osmem.NewProcess(osmem.Policy{Anchors: true})
+	cl := mem.ChunkList{{StartVPN: 0x10000, StartPFN: 1 << 21, Pages: footprintPages}}
+	if err := proc.InstallChunks(cl, 2); err != nil {
+		return nil, err
+	}
+	var rows []SweepCostRow
+	for _, d := range []uint64{8, 64, 512} {
+		res, cost := proc.ChangeDistance(d, osmem.DefaultSweepCost)
+		rows = append(rows, SweepCostRow{
+			Distance: d,
+			Anchors:  res.AnchorsVisited,
+			Millis:   float64(cost.Microseconds()) / 1000,
+		})
+	}
+	return rows, nil
+}
+
+func runSweep(w io.Writer, _ Options) error {
+	// The paper sweeps a 30 GiB mapping; default to 1 GiB here and scale
+	// the reported figure alongside the modeled per-anchor cost.
+	const footprint = 1 << 18 // 1 GiB
+	rows, err := SweepData(footprint)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Section 3.3: anchor distance change cost (modeled)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "distance\tanchors rewritten\tcost (1GiB)\tscaled to 30GiB\tpaper (30GiB)")
+	paper := map[uint64]string{8: "452ms", 64: "71.7ms", 512: "1.7ms"}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.2fms\t%.0fms\t%s\n", r.Distance, r.Anchors, r.Millis, r.Millis*30, paper[r.Distance])
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runExt runs the extension experiments beyond the paper: the
+// capacity-aware distance-selection cost model and the Section 4.2
+// multi-region anchors, each compared against the paper-faithful
+// configuration on the mappings where the single-snapshot heuristic is
+// weakest.
+func runExt(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "Extensions: capacity-aware selection and multi-region anchors (TLB misses)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tmapping\tentry-count\tcapacity-aware\tmulti-region")
+	for _, spec := range opts.suite() {
+		for _, sc := range []mapping.Scenario{mapping.Eager, mapping.Medium} {
+			cfg := opts.baseConfig(spec, sc)
+			cfg.Scheme = mmu.Anchor
+			plain, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			cfg.CostModel = core.CostCapacityAware
+			capac, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			cfg.CostModel = core.CostEntryCount
+			cfg.MultiRegionAnchors = true
+			multi, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\n", spec.Name, sc,
+				plain.Stats.Misses(), capac.Stats.Misses(), multi.Stats.Misses())
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runChurn exercises the Section 3.3 mapping-update machinery under
+// load: each scheme runs the same workload while regions of the footprint
+// are freed and reallocated, and the table reports the miss inflation and
+// the OS shootdown work.
+func runChurn(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "Mapping churn (Section 3.3): misses calm vs churned, plus shootdown work")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tscheme\tcalm misses\tchurned misses\tshootdowns\tremaps")
+	for _, spec := range opts.suite() {
+		for _, s := range []mmu.Scheme{mmu.THP, mmu.Cluster2M, mmu.RMM, mmu.Anchor} {
+			cfg := opts.baseConfig(spec, mapping.Medium)
+			cfg.Scheme = s
+			calm, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			churned, stats, err := sim.RunWithChurn(sim.ChurnConfig{
+				Config:                    cfg,
+				ChurnIntervalInstructions: 100_000,
+				ChurnPages:                256,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n", spec.Name, s,
+				calm.Stats.Misses(), churned.Stats.Misses(), stats.EntryShootdowns, stats.Operations)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Experiment names in presentation order.
+var experimentOrder = []string{
+	"fig1", "fig2", "tab1", "tab3", "tab4", "fig7", "fig8", "fig9",
+	"tab5", "tab6", "fig10", "fig11", "sweep", "ext", "churn",
+}
+
+var experiments = map[string]func(io.Writer, Options) error{
+	"fig1":  runFig1,
+	"fig2":  runFig2,
+	"tab1":  runTab1,
+	"tab3":  runTab3,
+	"tab4":  runTab4,
+	"fig7":  runFig7,
+	"fig8":  runFig8,
+	"fig9":  runFig9,
+	"tab5":  runTab5,
+	"tab6":  runTab6,
+	"fig10": runFig10,
+	"fig11": runFig11,
+	"sweep": runSweep,
+	"ext":   runExt,
+	"churn": runChurn,
+}
+
+// Names lists the available experiment identifiers in order.
+func Names() []string { return append([]string(nil), experimentOrder...) }
+
+// Run executes one experiment by name ("all" runs everything).
+func Run(name string, w io.Writer, opts Options) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if name == "all" {
+		for _, n := range experimentOrder {
+			if err := experiments[n](w, opts); err != nil {
+				return fmt.Errorf("report: %s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := experiments[name]
+	if !ok {
+		return fmt.Errorf("report: unknown experiment %q (have %v)", name, Names())
+	}
+	return fn(w, opts)
+}

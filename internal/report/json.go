@@ -1,0 +1,104 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"hybridtlb/internal/mapping"
+)
+
+// Machine-readable output: the structured results behind the main figures
+// serialized as JSON, for plotting or regression tracking outside Go.
+
+// JSONReport is the serializable form of the full evaluation.
+type JSONReport struct {
+	// Options echoes the scale parameters the report was produced with.
+	Options struct {
+		Accesses uint64  `json:"accesses"`
+		Seed     int64   `json:"seed"`
+		Pressure float64 `json:"pressure"`
+	} `json:"options"`
+	// MissFigures holds Figures 7-9: per-scenario, per-benchmark relative
+	// misses by scheme column.
+	MissFigures map[string]JSONMissFigure `json:"missFigures"`
+	// Distances holds Table 6: benchmark -> scenario -> selected anchor
+	// distance in pages.
+	Distances map[string]map[string]uint64 `json:"anchorDistances"`
+	// L2Breakdown holds Table 5 for the anchor scheme on the medium
+	// mapping: benchmark -> [regularHit, anchorHit, miss] fractions.
+	L2Breakdown map[string][3]float64 `json:"l2Breakdown"`
+}
+
+// JSONMissFigure is one scenario's miss matrix.
+type JSONMissFigure struct {
+	Columns []string                      `json:"columns"`
+	Rows    map[string]map[string]float64 `json:"rows"` // benchmark -> column -> percent
+	Means   map[string]float64            `json:"means"`
+}
+
+func toJSONMissFigure(f MissFigure) JSONMissFigure {
+	out := JSONMissFigure{
+		Columns: f.Columns,
+		Rows:    make(map[string]map[string]float64, len(f.Rows)),
+		Means:   make(map[string]float64, len(f.Columns)),
+	}
+	for _, r := range f.Rows {
+		out.Rows[r.Workload] = r.Relative
+	}
+	for _, c := range f.Columns {
+		out.Means[c] = f.Mean(c)
+	}
+	return out
+}
+
+// BuildJSON runs the figure matrices and assembles the JSON report.
+func BuildJSON(opts Options) (JSONReport, error) {
+	opts = opts.withDefaults()
+	var rep JSONReport
+	rep.Options.Accesses = opts.Accesses
+	rep.Options.Seed = opts.Seed
+	rep.Options.Pressure = opts.Pressure
+
+	figs, err := Fig9Data(opts)
+	if err != nil {
+		return rep, err
+	}
+	rep.MissFigures = make(map[string]JSONMissFigure, len(figs))
+	for sc, fig := range figs {
+		rep.MissFigures[sc.String()] = toJSONMissFigure(fig)
+	}
+
+	dists, err := Tab6Data(opts)
+	if err != nil {
+		return rep, err
+	}
+	rep.Distances = make(map[string]map[string]uint64, len(dists))
+	for wl, per := range dists {
+		m := make(map[string]uint64, len(per))
+		for sc, d := range per {
+			m[sc.String()] = d
+		}
+		rep.Distances[wl] = m
+	}
+
+	rows, err := Tab5Data(mapping.Medium, opts)
+	if err != nil {
+		return rep, err
+	}
+	rep.L2Breakdown = make(map[string][3]float64, len(rows))
+	for _, r := range rows {
+		rep.L2Breakdown[r.Workload] = [3]float64{r.RegularHit, r.AnchorHit, r.Miss}
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the full evaluation as indented JSON.
+func WriteJSON(w io.Writer, opts Options) error {
+	rep, err := BuildJSON(opts)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

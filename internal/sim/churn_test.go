@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+)
+
+func churnCfg(t *testing.T, scheme mmu.Scheme, interval, pages uint64) ChurnConfig {
+	t.Helper()
+	return ChurnConfig{
+		Config:                    smallCfg(scheme, "canneal", mapping.Medium),
+		ChurnIntervalInstructions: interval,
+		ChurnPages:                pages,
+	}
+}
+
+func TestRunWithChurnBasic(t *testing.T) {
+	cfg := churnCfg(t, mmu.Anchor, 20_000, 64)
+	cfg.Accesses = 100_000
+	res, stats, err := RunWithChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Operations == 0 {
+		t.Fatal("no churn operations fired")
+	}
+	if stats.PagesRemapped != stats.Operations*64 {
+		t.Errorf("pages remapped = %d for %d ops", stats.PagesRemapped, stats.Operations)
+	}
+	if stats.EntryShootdowns == 0 {
+		t.Error("churn produced no shootdowns")
+	}
+	// The workload only touches VAs that stay mapped throughout, so no
+	// faults even though the physical side changes underneath.
+	if res.Stats.Faults != 0 {
+		t.Errorf("churn caused %d faults", res.Stats.Faults)
+	}
+}
+
+// TestChurnCostsMisses: remapping invalidates cached translations, so a
+// churned run misses more than an identical calm run.
+func TestChurnCostsMisses(t *testing.T) {
+	calmCfg := smallCfg(mmu.Anchor, "canneal", mapping.Medium)
+	calmCfg.Accesses = 100_000
+	calm, err := Run(calmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := churnCfg(t, mmu.Anchor, 5_000, 256)
+	cfg.Accesses = 100_000
+	churned, _, err := RunWithChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churned.Stats.Misses() <= calm.Stats.Misses() {
+		t.Errorf("churned misses %d <= calm %d", churned.Stats.Misses(), calm.Stats.Misses())
+	}
+}
+
+// TestChurnAllSchemes: every scheme stays correct under live remapping.
+func TestChurnAllSchemes(t *testing.T) {
+	for _, s := range mmu.All() {
+		cfg := churnCfg(t, s, 25_000, 32)
+		cfg.Accesses = 40_000
+		res, _, err := RunWithChurn(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Stats.Faults != 0 {
+			t.Errorf("%v: %d faults under churn", s, res.Stats.Faults)
+		}
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	cfg := churnCfg(t, mmu.Base, 0, 64)
+	if _, _, err := RunWithChurn(cfg); err == nil {
+		t.Error("zero interval accepted")
+	}
+	cfg = churnCfg(t, mmu.Base, 1000, 0)
+	if _, _, err := RunWithChurn(cfg); err == nil {
+		t.Error("zero churn size accepted")
+	}
+}

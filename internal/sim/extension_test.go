@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/osmem"
+	"hybridtlb/internal/workload"
+)
+
+// TestCapacityAwareSelectionExtension: the capacity-aware cost model (an
+// extension beyond the paper) must not lose to the paper's entry-count
+// heuristic where the heuristic is known to misfire — mappings whose
+// hypothetical entry count exceeds TLB capacity — and must tie elsewhere.
+func TestCapacityAwareSelectionExtension(t *testing.T) {
+	run := func(wl string, sc mapping.Scenario, m core.CostModel) uint64 {
+		spec, err := workload.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Scheme:    mmu.Anchor,
+			Workload:  spec,
+			Scenario:  sc,
+			Accesses:  150_000,
+			Seed:      9,
+			Pressure:  0.15,
+			CostModel: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Misses()
+	}
+	for _, c := range []struct {
+		wl string
+		sc mapping.Scenario
+	}{
+		{"canneal", mapping.Medium},
+		{"mummer", mapping.Medium},
+		{"canneal", mapping.Eager},
+		{"omnetpp", mapping.Low},
+		{"gups", mapping.Max},
+	} {
+		entry := run(c.wl, c.sc, core.CostEntryCount)
+		capac := run(c.wl, c.sc, core.CostCapacityAware)
+		// Allow 10% noise in the tie direction; never a big regression.
+		if float64(capac) > float64(entry)*1.1+100 {
+			t.Errorf("%s/%v: capacity-aware %d misses vs entry-count %d", c.wl, c.sc, capac, entry)
+		}
+		t.Logf("%s/%-7v entry-count=%-8d capacity-aware=%d", c.wl, c.sc, entry, capac)
+	}
+}
+
+// TestMultiRegionExtension: on a mixed mapping — half the address space
+// fine-grained, half one huge region — per-region anchor distances
+// (Section 4.2) must beat the single process-wide distance.
+func TestMultiRegionExtension(t *testing.T) {
+	// Build the mixed mapping by hand: fine chunks then one huge chunk.
+	var cl mem.ChunkList
+	vpn := mem.VPN(0x10000)
+	pfn := mem.PFN(1 << 22)
+	for i := 0; i < 4096; i++ { // 16K pages in 4-page chunks
+		cl = append(cl, mem.Chunk{StartVPN: vpn, StartPFN: pfn, Pages: 4})
+		vpn += 4
+		pfn += 4 + 512
+	}
+	huge := mem.Chunk{StartVPN: vpn, StartPFN: 1 << 27, Pages: 1 << 14}
+	cl = append(cl, huge)
+
+	spec, err := workload.ByName("gups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := cl.TotalPages()
+
+	runMisses := func(multi bool) uint64 {
+		pol := mmu.Anchor.Policy()
+		proc := osmem.NewProcess(pol)
+		var ierr error
+		if multi {
+			ierr = proc.InstallChunksRegions(cl, 0)
+		} else {
+			ierr = proc.InstallChunks(cl, 0)
+		}
+		if ierr != nil {
+			t.Fatal(ierr)
+		}
+		m := mmu.New(mmu.Anchor, mmu.DefaultConfig(), proc)
+		gen := spec.NewGenerator(cl[0].StartVPN, footprint, 300_000, 5)
+		for {
+			rec, ok := gen.Next()
+			if !ok {
+				break
+			}
+			m.Translate(rec.VPN)
+		}
+		if m.Stats().Faults != 0 {
+			t.Fatalf("faults: %d", m.Stats().Faults)
+		}
+		return m.Stats().Misses()
+	}
+
+	single := runMisses(false)
+	multi := runMisses(true)
+	t.Logf("mixed mapping: single-distance misses=%d, multi-region misses=%d", single, multi)
+	if multi >= single {
+		t.Errorf("multi-region (%d) did not beat single distance (%d) on a mixed mapping", multi, single)
+	}
+}
+
+// TestMultiRegionOnProcessImage drives the Section 4.2 extension on a
+// realistic multi-VMA process image: regions with distinct contiguity
+// (fine-grained code vs demand-paged heap vs high-contiguity mmap arena)
+// get distinct anchor distances, and translations stay exact.
+func TestMultiRegionOnProcessImage(t *testing.T) {
+	im, err := mapping.GenerateImage(mapping.DefaultImage(1<<15), mapping.Config{Seed: 6, Pressure: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := osmem.NewProcess(mmu.Anchor.Policy())
+	if err := proc.InstallChunksRegions(im.Chunks, 0); err != nil {
+		t.Fatal(err)
+	}
+	regions := proc.Regions()
+	if len(regions) < 2 {
+		t.Fatalf("image partitioned into %d regions", len(regions))
+	}
+	// The code VMA and the mmap arena must land in regions with very
+	// different distances.
+	var codeVMA, mmapVMA mapping.PlacedVMA
+	for _, v := range im.VMAs {
+		switch v.Name {
+		case "code":
+			codeVMA = v
+		case "mmap":
+			mmapVMA = v
+		}
+	}
+	dCode := proc.DistanceAt(codeVMA.StartVPN)
+	dMmap := proc.DistanceAt(mmapVMA.StartVPN + 100)
+	if dCode*8 > dMmap {
+		t.Errorf("code distance %d not far below mmap distance %d", dCode, dMmap)
+	}
+	// Exact translations through the real MMU across every VMA.
+	m := mmu.New(mmu.Anchor, mmu.DefaultConfig(), proc)
+	for _, v := range im.VMAs {
+		for vpn := v.StartVPN; vpn < v.EndVPN; vpn += mem.VPN(1 + (v.EndVPN-v.StartVPN)/97) {
+			want, ok := proc.Translate(vpn)
+			if !ok {
+				t.Fatalf("%s: unmapped VPN %#x", v.Name, uint64(vpn))
+			}
+			res := m.Translate(vpn)
+			if res.Outcome == mmu.OutFault || res.PFN != want {
+				t.Fatalf("%s: translate(%#x) = %+v, want %#x", v.Name, uint64(vpn), res, uint64(want))
+			}
+		}
+	}
+}

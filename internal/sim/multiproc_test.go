@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/workload"
+)
+
+func multiCfg(t *testing.T, quantum uint64, n int) MultiProcessConfig {
+	t.Helper()
+	spec, err := workload.ByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]Config, n)
+	for i := range procs {
+		procs[i] = Config{
+			Scheme:         mmu.Anchor,
+			Workload:       spec,
+			Scenario:       mapping.Medium,
+			FootprintPages: 1 << 14,
+			Accesses:       60_000,
+			Seed:           3,
+		}
+	}
+	return MultiProcessConfig{Processes: procs, QuantumInstructions: quantum}
+}
+
+func TestRunMultiProcessBasic(t *testing.T) {
+	res, err := RunMultiProcess(multiCfg(t, 50_000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerProcess) != 2 {
+		t.Fatalf("per-process results = %d", len(res.PerProcess))
+	}
+	for i, pr := range res.PerProcess {
+		// The time-shared runner has no warmup phase: all accesses count.
+		if pr.Stats.Accesses != 60_000 {
+			t.Errorf("process %d accesses = %d", i, pr.Stats.Accesses)
+		}
+		if pr.Stats.Faults != 0 {
+			t.Errorf("process %d faults = %d", i, pr.Stats.Faults)
+		}
+		if pr.Instructions == 0 {
+			t.Errorf("process %d ran no instructions", i)
+		}
+	}
+	if res.ContextSwitches == 0 {
+		t.Error("no context switches recorded")
+	}
+	if res.TotalMisses != res.PerProcess[0].Stats.Misses()+res.PerProcess[1].Stats.Misses() {
+		t.Error("total misses do not sum")
+	}
+}
+
+// TestQuantumEffect: smaller scheduling quanta flush the TLBs more often,
+// so misses must rise — the cost the paper's distance-change flush is
+// compared against.
+func TestQuantumEffect(t *testing.T) {
+	coarse, err := RunMultiProcess(multiCfg(t, 200_000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := RunMultiProcess(multiCfg(t, 5_000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.ContextSwitches <= coarse.ContextSwitches {
+		t.Errorf("switches: fine %d <= coarse %d", fine.ContextSwitches, coarse.ContextSwitches)
+	}
+	if fine.TotalMisses <= coarse.TotalMisses {
+		t.Errorf("misses: fine quantum %d <= coarse %d; flushes had no cost", fine.TotalMisses, coarse.TotalMisses)
+	}
+}
+
+// TestMultiProcessIsolation: processes get distinct mappings (per-process
+// seeds) and their translations never interfere.
+func TestMultiProcessIsolation(t *testing.T) {
+	res, err := RunMultiProcess(multiCfg(t, 30_000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range res.PerProcess {
+		if pr.Stats.Faults != 0 {
+			t.Errorf("process %d faulted %d times", i, pr.Stats.Faults)
+		}
+	}
+}
+
+func TestMultiProcessValidation(t *testing.T) {
+	if _, err := RunMultiProcess(MultiProcessConfig{}); err == nil {
+		t.Error("empty process list accepted")
+	}
+	cfg := multiCfg(t, 0, 1)
+	if _, err := RunMultiProcess(cfg); err == nil {
+		t.Error("zero quantum accepted")
+	}
+}
+
+// TestASIDAvoidsFlushCost: with ASID-tagged TLBs the context-switch
+// flushes disappear, so the same schedule misses far less — quantifying
+// what the paper's flush-on-switch assumption costs.
+func TestASIDAvoidsFlushCost(t *testing.T) {
+	flushed, err := RunMultiProcess(multiCfg(t, 10_000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := multiCfg(t, 10_000, 2)
+	cfg.ASID = true
+	tagged, err := RunMultiProcess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged.TotalMisses >= flushed.TotalMisses {
+		t.Errorf("ASID misses %d >= flushed %d", tagged.TotalMisses, flushed.TotalMisses)
+	}
+	// Correctness unaffected.
+	for i, pr := range tagged.PerProcess {
+		if pr.Stats.Faults != 0 {
+			t.Errorf("process %d faulted under ASID", i)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim drives workloads through translation schemes: it wires a
+// mapping scenario, an OS process, an MMU and a workload trace together,
+// runs the access stream with periodic anchor-distance re-selection (the
+// paper checks every one billion instructions), and reports the metrics
+// the evaluation section plots — relative TLB misses, L2 hit breakdowns
+// and translation cycles per instruction.
+package sim
+
+import (
+	"fmt"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/osmem"
+	"hybridtlb/internal/trace"
+	"hybridtlb/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Scheme   mmu.Scheme
+	Workload workload.Spec
+	Scenario mapping.Scenario
+
+	// Hardware configuration (zero value: Table 3 via DefaultConfig).
+	HW mmu.Config
+
+	// FootprintPages overrides the workload's default footprint.
+	FootprintPages uint64
+	// Accesses is the trace length (default 1,000,000).
+	Accesses uint64
+	// WarmupAccesses run before counters reset (default Accesses/10).
+	WarmupAccesses uint64
+	// Seed drives both mapping generation and the workload.
+	Seed int64
+	// Pressure is the background fragmentation for buddy-backed
+	// scenarios.
+	Pressure float64
+
+	// FixedDistance pins the anchor distance and disables dynamic
+	// re-selection (the static configuration). Zero selects dynamically.
+	FixedDistance uint64
+	// EpochInstructions is the dynamic re-selection period (the paper
+	// uses 1e9; the scaled default is 10,000,000).
+	EpochInstructions uint64
+	// SweepCost models distance-change cost (zero: the calibrated
+	// default).
+	SweepCost osmem.SweepCostModel
+	// CostModel selects the distance-selection cost model (zero: the
+	// paper-faithful entry count; core.CostCapacityAware is this
+	// repository's capacity-aware extension).
+	CostModel core.CostModel
+	// MultiRegionAnchors installs per-region anchor distances (the
+	// paper's Section 4.2 future-work extension) instead of one
+	// process-wide distance. Requires the anchor scheme; FixedDistance
+	// is ignored.
+	MultiRegionAnchors bool
+	// DetailedWalk replaces the flat 50-cycle walk latency with the
+	// cache+PWC walk model (an ablation of the Table 3 assumption).
+	DetailedWalk bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.HW == (mmu.Config{}) {
+		c.HW = mmu.DefaultConfig()
+	}
+	if c.FootprintPages == 0 {
+		c.FootprintPages = c.Workload.FootprintPages
+	}
+	if c.Accesses == 0 {
+		c.Accesses = 1_000_000
+	}
+	if c.WarmupAccesses == 0 {
+		c.WarmupAccesses = c.Accesses / 10
+	}
+	if c.EpochInstructions == 0 {
+		c.EpochInstructions = 10_000_000
+	}
+	if c.SweepCost == (osmem.SweepCostModel{}) {
+		c.SweepCost = osmem.DefaultSweepCost
+	}
+	return c
+}
+
+// Result reports one simulation.
+type Result struct {
+	Scheme   mmu.Scheme
+	Workload string
+	Scenario mapping.Scenario
+
+	Stats        mmu.Stats
+	Instructions uint64
+
+	// Mapping/OS facts.
+	Chunks          int
+	HugePages       int
+	AnchorDistance  uint64 // final distance (anchor scheme)
+	DistanceChanges uint64
+
+	// AnchorActions breaks anchor-scheme L2 flows down by Table 2 row.
+	AnchorActions map[core.L2Action]uint64
+}
+
+// MissesPerMillionInstructions is the paper's underlying miss-rate metric.
+func (r Result) MissesPerMillionInstructions() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Stats.Misses()) / float64(r.Instructions) * 1e6
+}
+
+// RelativeMisses returns this run's misses normalized to a baseline run
+// (the y-axis of Figures 2 and 7-9), in percent.
+func (r Result) RelativeMisses(base Result) float64 {
+	if base.Stats.Misses() == 0 {
+		if r.Stats.Misses() == 0 {
+			return 100
+		}
+		return 0
+	}
+	return 100 * float64(r.Stats.Misses()) / float64(base.Stats.Misses())
+}
+
+// CPIBreakdown is the translation cycles-per-instruction split plotted in
+// Figures 10 and 11.
+type CPIBreakdown struct {
+	L2Hit     float64 // cycles spent on regular L2 hits
+	Coalesced float64 // cycles on anchor / cluster / range hits
+	Walk      float64 // cycles on page table walks
+}
+
+// Total returns the full translation CPI.
+func (c CPIBreakdown) Total() float64 { return c.L2Hit + c.Coalesced + c.Walk }
+
+// CPI computes the translation CPI breakdown under the given latencies.
+func (r Result) CPI(hw mmu.Config) CPIBreakdown {
+	if r.Instructions == 0 {
+		return CPIBreakdown{}
+	}
+	inv := 1 / float64(r.Instructions)
+	return CPIBreakdown{
+		L2Hit:     float64(r.Stats.L2RegularHits*hw.L2HitCycles) * inv,
+		Coalesced: float64(r.Stats.CoalescedHits*hw.CoalescedHitCycles) * inv,
+		Walk:      float64((r.Stats.Walks+r.Stats.Faults)*hw.WalkCycles) * inv,
+	}
+}
+
+// L2Breakdown returns the Table 5 row: fractions of L2 accesses served by
+// regular entries, coalesced entries, and misses.
+func (r Result) L2Breakdown() (regular, coalesced, miss float64) {
+	total := r.Stats.L2Accesses()
+	if total == 0 {
+		return 0, 0, 0
+	}
+	inv := 1 / float64(total)
+	return float64(r.Stats.L2RegularHits) * inv,
+		float64(r.Stats.CoalescedHits) * inv,
+		float64(r.Stats.Misses()) * inv
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	cl, err := mapping.Generate(cfg.Scenario, mapping.Config{
+		FootprintPages: cfg.FootprintPages,
+		Seed:           cfg.Seed,
+		Pressure:       cfg.Pressure,
+		FineGrained:    cfg.Workload.FineGrainedAlloc,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: generating mapping: %w", err)
+	}
+
+	if cfg.DetailedWalk {
+		cfg.HW.Walk = mmu.NewWalkModel()
+	}
+	pol := cfg.Scheme.Policy()
+	pol.Cost = cfg.CostModel
+	proc := osmem.NewProcess(pol)
+	if cfg.MultiRegionAnchors {
+		if err := proc.InstallChunksRegions(cl, 0); err != nil {
+			return Result{}, fmt.Errorf("sim: installing multi-region mapping: %w", err)
+		}
+	} else if err := proc.InstallChunks(cl, cfg.FixedDistance); err != nil {
+		return Result{}, fmt.Errorf("sim: installing mapping: %w", err)
+	}
+	m := mmu.New(cfg.Scheme, cfg.HW, proc)
+
+	base := cl[0].StartVPN
+	gen := cfg.Workload.NewGenerator(base, cfg.FootprintPages, cfg.WarmupAccesses+cfg.Accesses, cfg.Seed)
+
+	res := Result{
+		Scheme:   cfg.Scheme,
+		Workload: cfg.Workload.Name,
+		Scenario: cfg.Scenario,
+		Chunks:   len(cl),
+	}
+
+	drive(m, proc, gen, cfg, &res)
+
+	res.HugePages = proc.HugePages()
+	res.AnchorDistance = proc.AnchorDistance()
+	res.DistanceChanges = proc.DistanceChanges()
+	if am, ok := m.(interface {
+		Actions() map[core.L2Action]uint64
+	}); ok {
+		res.AnchorActions = am.Actions()
+	}
+	return res, nil
+}
+
+// drive pushes the trace through the MMU, resetting counters after warmup
+// and running the periodic distance re-selection.
+func drive(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Result) {
+	dynamic := cfg.Scheme.Policy().Anchors && cfg.FixedDistance == 0
+	var instructions, sinceEpoch uint64
+	var warmLeft = cfg.WarmupAccesses
+	var warmStats mmu.Stats
+	var warmInstr uint64
+
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		m.Translate(rec.VPN)
+		instructions += uint64(rec.Instrs)
+		sinceEpoch += uint64(rec.Instrs)
+
+		if warmLeft > 0 {
+			warmLeft--
+			if warmLeft == 0 {
+				warmStats = m.Stats()
+				warmInstr = instructions
+			}
+		}
+		if dynamic && sinceEpoch >= cfg.EpochInstructions {
+			sinceEpoch = 0
+			proc.Reselect(cfg.SweepCost)
+		}
+	}
+	res.Stats = subStats(m.Stats(), warmStats)
+	res.Instructions = instructions - warmInstr
+}
+
+func subStats(a, b mmu.Stats) mmu.Stats {
+	return mmu.Stats{
+		Accesses:      a.Accesses - b.Accesses,
+		L1Hits:        a.L1Hits - b.L1Hits,
+		L2RegularHits: a.L2RegularHits - b.L2RegularHits,
+		CoalescedHits: a.CoalescedHits - b.CoalescedHits,
+		Walks:         a.Walks - b.Walks,
+		Faults:        a.Faults - b.Faults,
+		Cycles:        a.Cycles - b.Cycles,
+	}
+}
+
+// RunStaticIdeal exhaustively evaluates every anchor distance with the
+// dynamic selection disabled and returns the best run (fewest misses)
+// — the paper's "static ideal" configuration — along with every
+// per-distance result.
+func RunStaticIdeal(cfg Config) (Result, []Result, error) {
+	if !cfg.Scheme.Policy().Anchors {
+		return Result{}, nil, fmt.Errorf("sim: static-ideal requires an anchor scheme, got %v", cfg.Scheme)
+	}
+	var best Result
+	var all []Result
+	for _, d := range core.Distances() {
+		c := cfg
+		c.FixedDistance = d
+		r, err := Run(c)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		all = append(all, r)
+		if len(all) == 1 || r.Stats.Misses() < best.Stats.Misses() {
+			best = r
+		}
+	}
+	return best, all, nil
+}

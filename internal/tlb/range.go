@@ -1,0 +1,121 @@
+package tlb
+
+import (
+	"fmt"
+
+	"hybridtlb/internal/mem"
+)
+
+// RangeEntry is one segment translation of RMM's range TLB: Pages
+// consecutive VPNs starting at StartVPN map to consecutive PFNs starting at
+// StartPFN.
+type RangeEntry struct {
+	StartVPN mem.VPN
+	StartPFN mem.PFN
+	Pages    uint64
+}
+
+// Contains reports whether the range covers vpn.
+func (r RangeEntry) Contains(v mem.VPN) bool {
+	return v >= r.StartVPN && v < r.StartVPN+mem.VPN(r.Pages)
+}
+
+// Translate returns the frame for a VPN inside the range.
+func (r RangeEntry) Translate(v mem.VPN) mem.PFN {
+	return r.StartPFN + mem.PFN(v-r.StartVPN)
+}
+
+// RangeTLB is the small fully-associative range TLB of Redundant Memory
+// Mapping (Karakostas et al., ISCA'15), as configured in Table 3 of the
+// paper: 32 entries, fully associative, LRU. Every lookup compares the VPN
+// against all ranges in parallel (in hardware); the full associativity is
+// exactly what limits the entry count.
+type RangeTLB struct {
+	capacity int
+	lines    []rangeLine
+	clock    uint64
+}
+
+type rangeLine struct {
+	valid bool
+	lru   uint64
+	r     RangeEntry
+}
+
+// NewRangeTLB creates a range TLB with the given capacity.
+func NewRangeTLB(capacity int) *RangeTLB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("tlb: range TLB capacity %d must be positive", capacity))
+	}
+	return &RangeTLB{capacity: capacity, lines: make([]rangeLine, capacity)}
+}
+
+// Capacity returns the entry count.
+func (t *RangeTLB) Capacity() int { return t.capacity }
+
+// Lookup finds a range covering vpn, promoting it to MRU.
+func (t *RangeTLB) Lookup(v mem.VPN) (RangeEntry, bool) {
+	for i := range t.lines {
+		if t.lines[i].valid && t.lines[i].r.Contains(v) {
+			t.clock++
+			t.lines[i].lru = t.clock
+			return t.lines[i].r, true
+		}
+	}
+	return RangeEntry{}, false
+}
+
+// Insert installs a range, evicting the LRU entry if full. A range with
+// the same StartVPN replaces the old one in place.
+func (t *RangeTLB) Insert(r RangeEntry) {
+	victim := 0
+	for i := range t.lines {
+		if t.lines[i].valid && t.lines[i].r.StartVPN == r.StartVPN {
+			victim = i
+			break
+		}
+		if !t.lines[i].valid {
+			if t.lines[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if t.lines[victim].valid && t.lines[i].lru < t.lines[victim].lru {
+			victim = i
+		}
+	}
+	t.clock++
+	t.lines[victim] = rangeLine{valid: true, lru: t.clock, r: r}
+}
+
+// InvalidateContaining removes every range covering vpn, reporting how
+// many were removed (the OS shoots ranges down when their backing chunk
+// is split or unmapped).
+func (t *RangeTLB) InvalidateContaining(v mem.VPN) int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid && t.lines[i].r.Contains(v) {
+			t.lines[i] = rangeLine{}
+			n++
+		}
+	}
+	return n
+}
+
+// Flush empties the range TLB.
+func (t *RangeTLB) Flush() {
+	for i := range t.lines {
+		t.lines[i] = rangeLine{}
+	}
+}
+
+// Occupancy returns the number of valid ranges.
+func (t *RangeTLB) Occupancy() int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

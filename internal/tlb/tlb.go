@@ -1,0 +1,229 @@
+// Package tlb provides the hardware translation-buffer structures the
+// simulator composes into full MMUs: a set-associative TLB with true LRU
+// replacement (used for the L1s, the shared L2, and the partitioned
+// cluster TLB) and a small fully-associative range TLB (used for RMM's
+// segment translations).
+//
+// The set-associative cache stores uniform Entry values and is indexed by
+// an externally computed (set, key) pair, because the paper's anchor scheme
+// deliberately reuses the same physical L2 array with three different
+// indexing functions (Figure 6): 4 KiB entries index with VPN low bits,
+// 2 MiB entries with VPN>>9, and anchor entries with VPN>>d, where d is the
+// process's current anchor distance.
+package tlb
+
+import (
+	"fmt"
+
+	"hybridtlb/internal/mem"
+)
+
+// EntryKind discriminates what a TLB entry translates. Kinds are part of
+// the lookup key so that, e.g., an anchor entry can never satisfy a 4 KiB
+// lookup with an aliasing tag.
+type EntryKind uint8
+
+// The entry kinds used by the translation schemes.
+const (
+	Kind4K EntryKind = iota
+	Kind2M
+	KindAnchor
+	KindCluster
+	numKinds
+)
+
+// String names the entry kind.
+func (k EntryKind) String() string {
+	switch k {
+	case Kind4K:
+		return "4K"
+	case Kind2M:
+		return "2M"
+	case KindAnchor:
+		return "anchor"
+	case KindCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", uint8(k))
+	}
+}
+
+// Entry is one translation record.
+type Entry struct {
+	Kind EntryKind
+	// VPNBase is the first VPN the entry covers (page base for 4K/2M,
+	// anchor VPN for anchors, 8-aligned block base for clusters).
+	VPNBase mem.VPN
+	// PFNBase is the frame corresponding to VPNBase.
+	PFNBase mem.PFN
+	// Contig is the anchor contiguity in pages (anchor entries only).
+	Contig uint64
+	// Bitmap marks which of the 8 block offsets a cluster entry covers
+	// (cluster entries only).
+	Bitmap uint8
+}
+
+// Cache is a set-associative TLB with true-LRU replacement within a set.
+// The zero value is unusable; call NewCache.
+type Cache struct {
+	sets, ways int
+	lines      []line
+	clock      uint64
+}
+
+type line struct {
+	valid bool
+	key   uint64
+	lru   uint64
+	entry Entry
+}
+
+// NewCache creates a cache with the given geometry. sets must be a power
+// of two; ways >= 1.
+func NewCache(sets, ways int) *Cache {
+	if sets <= 0 || !mem.IsPow2(uint64(sets)) {
+		panic(fmt.Sprintf("tlb: sets %d must be a positive power of two", sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("tlb: ways %d must be positive", ways))
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]line, sets*ways)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Entries returns the total capacity in entries.
+func (c *Cache) Entries() int { return c.sets * c.ways }
+
+// SetMask returns sets-1, for external index computation.
+func (c *Cache) SetMask() uint64 { return uint64(c.sets - 1) }
+
+// Key packs an (kind, tag) pair into a lookup key. Tags are arbitrary
+// values derived from the VPN by the scheme's indexing function.
+func Key(kind EntryKind, tag uint64) uint64 {
+	return tag<<3 | uint64(kind)
+}
+
+// Lookup searches the set for the key and promotes the entry to MRU on a
+// hit.
+func (c *Cache) Lookup(set int, key uint64) (Entry, bool) {
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].key == key {
+			c.clock++
+			c.lines[i].lru = c.clock
+			return c.lines[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// LookupWhere searches the set for the first valid entry satisfying
+// match, promoting it to MRU on a hit. Schemes whose entries cannot be
+// found by exact key (e.g. cluster entries, where one virtual block may
+// need two entries with different physical bases) probe with this.
+func (c *Cache) LookupWhere(set int, match func(Entry) bool) (Entry, bool) {
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && match(c.lines[i].entry) {
+			c.clock++
+			c.lines[i].lru = c.clock
+			return c.lines[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Peek is Lookup without the LRU update (used by tests and stats probes).
+func (c *Cache) Peek(set int, key uint64) (Entry, bool) {
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].key == key {
+			return c.lines[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert installs the entry under key, evicting the set's LRU way if
+// necessary. Inserting an existing key overwrites it in place. It returns
+// the evicted entry, if any.
+func (c *Cache) Insert(set int, key uint64, e Entry) (Entry, bool) {
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].key == key {
+			victim = i
+			break
+		}
+		if !c.lines[i].valid {
+			if c.lines[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if c.lines[victim].valid && c.lines[i].lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	var evicted Entry
+	hadVictim := c.lines[victim].valid && c.lines[victim].key != key
+	if hadVictim {
+		evicted = c.lines[victim].entry
+	}
+	c.clock++
+	c.lines[victim] = line{valid: true, key: key, lru: c.clock, entry: e}
+	return evicted, hadVictim
+}
+
+// Invalidate removes the entry with the given key from the set, reporting
+// whether it was present.
+func (c *Cache) Invalidate(set int, key uint64) bool {
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].key == key {
+			c.lines[i] = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateWhere removes every entry in the set satisfying match and
+// returns how many were removed (targeted shootdown of coalesced entries
+// that cannot be addressed by exact key).
+func (c *Cache) InvalidateWhere(set int, match func(Entry) bool) int {
+	base := set * c.ways
+	n := 0
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && match(c.lines[i].entry) {
+			c.lines[i] = line{}
+			n++
+		}
+	}
+	return n
+}
+
+// Flush empties the cache (whole-TLB shootdown, as the OS performs after an
+// anchor distance change).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Occupancy returns the number of valid entries, optionally filtered by
+// kind (pass nil for all). Used by utilization statistics and tests.
+func (c *Cache) Occupancy(want func(Entry) bool) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && (want == nil || want(c.lines[i].entry)) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridtlb/internal/mem"
+)
+
+// FuzzBinaryRoundTrip exercises the varint/zig-zag trace codec with
+// arbitrary record contents: whatever is written must read back exactly.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(uint64(0x10000), uint32(4), true, uint64(0x10001), uint32(7), false)
+	f.Add(uint64(0), uint32(0), false, uint64(1<<47), uint32(1<<30), true)
+	f.Add(uint64(1<<47), uint32(1), false, uint64(0), uint32(2), false)
+	f.Fuzz(func(t *testing.T, v1 uint64, i1 uint32, w1 bool, v2 uint64, i2 uint32, w2 bool) {
+		recs := []Record{
+			{VPN: mem.VPN(v1 & (1<<47 - 1)), Instrs: i1, Write: w1},
+			{VPN: mem.VPN(v2 & (1<<47 - 1)), Instrs: i2, Write: w2},
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range recs {
+			got, ok := rd.Next()
+			if !ok {
+				t.Fatalf("record %d missing: %v", i, rd.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d = %+v, want %+v", i, got, want)
+			}
+		}
+		if _, ok := rd.Next(); ok {
+			t.Fatal("extra record decoded")
+		}
+	})
+}
+
+// FuzzReaderRobustness feeds arbitrary bytes to the decoder: it must never
+// panic, only return records or stop with an error.
+func FuzzReaderRobustness(f *testing.F) {
+	f.Add([]byte("HTLBTRC1\x02\x08"))
+	f.Add([]byte("HTLBTRC1"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad header: fine
+		}
+		for i := 0; i < 10000; i++ {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package hybridtlb
+
+import (
+	"fmt"
+	"os"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/sim"
+	"hybridtlb/internal/trace"
+	"hybridtlb/internal/workload"
+)
+
+// Mapping scenario names accepted by Simulate (Section 5.1 / Table 4).
+const (
+	ScenarioDemand = "demand" // Linux demand paging with THP
+	ScenarioEager  = "eager"  // eager paging
+	ScenarioLow    = "low"    // chunks of 1-16 pages
+	ScenarioMedium = "medium" // chunks of 1-512 pages
+	ScenarioHigh   = "high"   // chunks of 512-65536 pages
+	ScenarioMax    = "max"    // one contiguous region
+)
+
+// Scenarios lists the available mapping scenarios.
+func Scenarios() []string {
+	var out []string
+	for _, s := range mapping.All() {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// Workloads lists the synthetic benchmark suite (stand-ins for the
+// paper's SPEC CPU2006 / BioBench / graph500 / gups workloads).
+func Workloads() []string { return workload.Names() }
+
+// SimulationConfig parameterizes a Simulate run.
+type SimulationConfig struct {
+	// Scheme is a translation scheme name (see Schemes).
+	Scheme string
+	// Workload is a benchmark name (see Workloads).
+	Workload string
+	// Scenario is a mapping scenario name (see Scenarios).
+	Scenario string
+	// Accesses is the measured trace length (default 1,000,000; a
+	// further 10% runs as warmup).
+	Accesses uint64
+	// FootprintPages overrides the workload's default footprint.
+	FootprintPages uint64
+	// Seed makes mapping and workload generation deterministic.
+	Seed int64
+	// Pressure in [0,1] adds background fragmentation to the
+	// buddy-backed scenarios (demand, eager).
+	Pressure float64
+	// FixedAnchorDistance pins the anchor distance (0: dynamic).
+	FixedAnchorDistance uint64
+	// CostModel names the distance-selection cost model ("" or
+	// CostModelEntryCount for the paper-faithful default).
+	CostModel string
+	// MultiRegionAnchors installs per-region anchor distances (the
+	// paper's Section 4.2 extension). Requires the anchor scheme.
+	MultiRegionAnchors bool
+	// Hardware overrides TLB geometry and latencies (zero: Table 3).
+	Hardware Hardware
+	// TracePath, when set, replays a recorded trace file (written by
+	// cmd/tracegen) instead of generating the workload's accesses; the
+	// Workload field then only names the footprint defaults.
+	TracePath string
+}
+
+// SimulationResult reports one simulation in the paper's metrics.
+type SimulationResult struct {
+	Scheme   string
+	Workload string
+	Scenario string
+
+	Stats        Stats
+	Instructions uint64
+
+	// TranslationCPI is translation cycles per instruction, the quantity
+	// plotted in Figures 10 and 11 (split into its three components).
+	TranslationCPI  float64
+	CPIRegularHit   float64
+	CPICoalescedHit float64
+	CPIWalk         float64
+
+	// L2 access breakdown (Table 5): fractions of L2 accesses served by
+	// regular entries, coalesced entries, or missing.
+	L2RegularHitFraction   float64
+	L2CoalescedHitFraction float64
+	L2MissFraction         float64
+
+	// AnchorDistance is the final anchor distance (anchor scheme).
+	AnchorDistance uint64
+	// Chunks and HugePages describe the generated mapping.
+	Chunks    int
+	HugePages int
+}
+
+// MissesPerMillionInstructions returns the normalized miss rate.
+func (r SimulationResult) MissesPerMillionInstructions() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Stats.Misses) / float64(r.Instructions) * 1e6
+}
+
+// Simulate runs one benchmark over one mapping scenario through one
+// translation scheme and reports the paper's metrics.
+func Simulate(cfg SimulationConfig) (SimulationResult, error) {
+	scheme, err := mmu.ParseScheme(cfg.Scheme)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	spec, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	scenario, err := mapping.ParseScenario(cfg.Scenario)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	costModel, err := core.ParseCostModel(cfg.CostModel)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	hw := cfg.Hardware.toConfig()
+	simCfg := sim.Config{
+		Scheme:             scheme,
+		Workload:           spec,
+		Scenario:           scenario,
+		HW:                 hw,
+		FootprintPages:     cfg.FootprintPages,
+		Accesses:           cfg.Accesses,
+		Seed:               cfg.Seed,
+		Pressure:           cfg.Pressure,
+		FixedDistance:      cfg.FixedAnchorDistance,
+		CostModel:          costModel,
+		MultiRegionAnchors: cfg.MultiRegionAnchors,
+	}
+	var res sim.Result
+	if cfg.TracePath != "" {
+		f, ferr := os.Open(cfg.TracePath)
+		if ferr != nil {
+			return SimulationResult{}, ferr
+		}
+		defer f.Close()
+		r, rerr := trace.NewReader(f)
+		if rerr != nil {
+			return SimulationResult{}, rerr
+		}
+		res, err = sim.RunTrace(simCfg, r)
+		if err == nil && r.Err() != nil {
+			err = r.Err()
+		}
+	} else {
+		res, err = sim.Run(simCfg)
+	}
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return toSimulationResult(res, hw), nil
+}
+
+// SimulateStaticIdeal exhaustively evaluates every anchor distance and
+// returns the best-performing run — the paper's "static ideal"
+// configuration. The scheme is forced to the anchor scheme.
+func SimulateStaticIdeal(cfg SimulationConfig) (SimulationResult, error) {
+	spec, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	scenario, err := mapping.ParseScenario(cfg.Scenario)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	hw := cfg.Hardware.toConfig()
+	best, _, err := sim.RunStaticIdeal(sim.Config{
+		Scheme:         mmu.Anchor,
+		Workload:       spec,
+		Scenario:       scenario,
+		HW:             hw,
+		FootprintPages: cfg.FootprintPages,
+		Accesses:       cfg.Accesses,
+		Seed:           cfg.Seed,
+		Pressure:       cfg.Pressure,
+	})
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return toSimulationResult(best, hw), nil
+}
+
+func toSimulationResult(res sim.Result, hw mmu.Config) SimulationResult {
+	cpi := res.CPI(hw)
+	reg, coal, miss := res.L2Breakdown()
+	return SimulationResult{
+		Scheme:   res.Scheme.String(),
+		Workload: res.Workload,
+		Scenario: res.Scenario.String(),
+		Stats: Stats{
+			Accesses:      res.Stats.Accesses,
+			L1Hits:        res.Stats.L1Hits,
+			L2RegularHits: res.Stats.L2RegularHits,
+			CoalescedHits: res.Stats.CoalescedHits,
+			Misses:        res.Stats.Misses(),
+			Cycles:        res.Stats.Cycles,
+		},
+		Instructions:           res.Instructions,
+		TranslationCPI:         cpi.Total(),
+		CPIRegularHit:          cpi.L2Hit,
+		CPICoalescedHit:        cpi.Coalesced,
+		CPIWalk:                cpi.Walk,
+		L2RegularHitFraction:   reg,
+		L2CoalescedHitFraction: coal,
+		L2MissFraction:         miss,
+		AnchorDistance:         res.AnchorDistance,
+		Chunks:                 res.Chunks,
+		HugePages:              res.HugePages,
+	}
+}
+
+// GenerateMapping produces the chunk list of a named mapping scenario for
+// a given footprint — useful for feeding System.Map with realistic
+// fragmented mappings.
+func GenerateMapping(scenario string, footprintPages uint64, seed int64, pressure float64) ([]Chunk, error) {
+	sc, err := mapping.ParseScenario(scenario)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := mapping.Generate(sc, mapping.Config{
+		FootprintPages: footprintPages,
+		Seed:           seed,
+		Pressure:       pressure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Chunk, 0, len(cl))
+	for _, c := range cl {
+		out = append(out, Chunk{VirtPage: uint64(c.StartVPN), PhysPage: uint64(c.StartPFN), Pages: c.Pages})
+	}
+	return out, nil
+}
+
+// check that the scheme constants stay in sync with the internal enum.
+var _ = func() struct{} {
+	for _, name := range []string{SchemeBase, SchemeTHP, SchemeCluster, SchemeCluster2M, SchemeRMM, SchemeAnchor, SchemeCoLT, SchemeCoLTFA} {
+		if _, err := mmu.ParseScheme(name); err != nil {
+			panic(fmt.Sprintf("hybridtlb: scheme constant %q out of sync: %v", name, err))
+		}
+	}
+	return struct{}{}
+}()
