@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the pre-commit gate.
+
+GO ?= go
+
+.PHONY: check vet build test race bench experiments
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Full evaluation tables/figures (cmd/experiments at default scale).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -progress

@@ -9,6 +9,7 @@ package hybridtlb
 // printed by cmd/experiments.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/report"
 	"hybridtlb/internal/sim"
+	"hybridtlb/internal/sweep"
 	"hybridtlb/internal/workload"
 )
 
@@ -403,6 +405,41 @@ func BenchmarkTranslatePublicAPI(b *testing.B) {
 		if _, ok := sys.TranslatePage(0x10000 + uint64(i)&0xFFFF); !ok {
 			b.Fatal("fault")
 		}
+	}
+}
+
+// BenchmarkSweepEngine times the same fig9/fig10-style scheme×workload
+// grid through the sweep engine at parallelism 1 and 4, with the cache
+// disabled so both variants simulate every cell. The parallel/serial
+// ratio is the engine's wall-clock speedup (EXPERIMENTS.md records it).
+func BenchmarkSweepEngine(b *testing.B) {
+	var jobs []sweep.Job
+	for _, wl := range []string{"gups", "omnetpp", "canneal", "mcf"} {
+		for _, scheme := range []mmu.Scheme{mmu.Base, mmu.THP, mmu.Cluster, mmu.RMM, mmu.Anchor} {
+			cfg := benchCfg(b, wl, mapping.Demand, scheme)
+			cfg.Accesses = 50_000
+			jobs = append(jobs, sweep.Job{Config: cfg})
+		}
+	}
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := sweep.New(sweep.Options{Parallelism: bc.parallelism, DisableCache: true})
+				results, err := eng.Run(context.Background(), jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(jobs) {
+					b.Fatal("short sweep")
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 //	experiments -exp fig7               # Figure 7 (demand paging misses)
 //	experiments -exp all -out eval.txt  # everything, into a file
 //	experiments -exp fig9 -accesses 500000 -workloads gups,mcf,omnetpp
+//	experiments -exp all -parallel 8 -progress
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"hybridtlb/internal/report"
+	"hybridtlb/internal/sweep"
 )
 
 func main() {
@@ -27,39 +29,68 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated benchmark subset (default: full suite)")
 		skipStatic = flag.Bool("skip-static-ideal", false, "drop the exhaustive static-ideal column (16x cheaper)")
 		outPath    = flag.String("out", "", "write output to a file instead of stdout")
-		asJSON     = flag.Bool("json", false, "emit the figure matrices as JSON instead of tables (ignores -exp)")
+		asJSON     = flag.Bool("json", false, "emit the selected experiment as JSON (supports "+strings.Join(report.JSONExperiments(), ", ")+")")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0: GOMAXPROCS)")
+		progress   = flag.Bool("progress", false, "print a live sweep progress line to stderr")
 	)
 	flag.Parse()
+
+	var progressFn sweep.ProgressFunc
+	if *progress {
+		progressFn = func(done, total int, job sweep.Job) {
+			fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d %-48.48s", done, total, job.String())
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r"+strings.Repeat(" ", 70)+"\r")
+			}
+		}
+	}
+	// One engine for the whole invocation: every experiment of an "all"
+	// run shares the worker pool and the result cache.
+	eng := sweep.New(sweep.Options{Parallelism: *parallel, Progress: progressFn})
 
 	opts := report.Options{
 		Accesses:        *accesses,
 		Seed:            *seed,
 		SkipStaticIdeal: *skipStatic,
+		Parallelism:     *parallel,
+		Engine:          eng,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
 
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
+		var err error
+		f, err = os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 
 	start := time.Now()
+	var err error
 	if *asJSON {
-		if err := report.WriteJSON(w, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-	} else if err := report.Run(*exp, w, opts); err != nil {
+		err = report.WriteJSONFor(*exp, w, opts)
+	} else {
+		err = report.Run(*exp, w, opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "experiments: %s completed in %v\n", *exp, time.Since(start).Round(time.Millisecond))
+	// A full output file on a nearly-full disk can lose buffered writes
+	// at close; surface that instead of reporting success.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	stats := eng.Stats()
+	fmt.Fprintf(os.Stderr, "experiments: %s completed in %v (%d simulations, %d cache hits)\n",
+		*exp, time.Since(start).Round(time.Millisecond), stats.Misses, stats.Hits)
 }

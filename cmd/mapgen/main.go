@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -28,6 +29,7 @@ func main() {
 		costs     = flag.Bool("costs", false, "print Algorithm 1's per-distance costs")
 		chunks    = flag.Bool("chunks", false, "list every chunk")
 		fine      = flag.Bool("fine", false, "fine-grained allocator behaviour (omnetpp-like)")
+		outPath   = flag.String("out", "", "write the report to a file instead of stdout")
 	)
 	flag.Parse()
 
@@ -47,13 +49,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *outPath != "" {
+		f, err = os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapgen:", err)
+			os.Exit(1)
+		}
+		w = f
+	}
+
 	hist := mem.BuildHistogram(cl)
-	fmt.Printf("scenario   %s (pressure %.2f, seed %d)\n", sc, *pressure, *seed)
-	fmt.Printf("footprint  %s in %d chunks (mean %.1f pages/chunk)\n",
+	fmt.Fprintf(w, "scenario   %s (pressure %.2f, seed %d)\n", sc, *pressure, *seed)
+	fmt.Fprintf(w, "footprint  %s in %d chunks (mean %.1f pages/chunk)\n",
 		mem.HumanBytes(*footprint*mem.Size4K), len(cl), float64(*footprint)/float64(len(cl)))
 
-	fmt.Println("\nchunk-size CDF (fraction of pages in chunks <= size):")
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\nchunk-size CDF (fraction of pages in chunks <= size):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	cdf := hist.CDF()
 	for _, bound := range []uint64{1, 4, 16, 64, 256, 512, 2048, 8192, 65536} {
 		frac := 0.0
@@ -68,10 +81,10 @@ func main() {
 	tw.Flush()
 
 	best, perDistance := core.SelectDistance(hist)
-	fmt.Printf("\nAlgorithm 1 selects anchor distance %d (%s)\n", best, mem.HumanBytes(best*mem.Size4K))
+	fmt.Fprintf(w, "\nAlgorithm 1 selects anchor distance %d (%s)\n", best, mem.HumanBytes(best*mem.Size4K))
 	if *costs {
-		fmt.Println("\nper-distance cost (hypothetical TLB entries):")
-		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\nper-distance cost (hypothetical TLB entries):")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "distance\tanchors\t2MB pages\t4KB pages\tcost")
 		for _, c := range perDistance {
 			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f\n", c.Distance, c.AnchorEntries, c.LargePages, c.SmallPages, c.Cost)
@@ -79,9 +92,17 @@ func main() {
 		tw.Flush()
 	}
 	if *chunks {
-		fmt.Println("\nchunks:")
+		fmt.Fprintln(w, "\nchunks:")
 		for _, c := range cl {
-			fmt.Printf("  %s (%d pages)\n", c, c.Pages)
+			fmt.Fprintf(w, "  %s (%d pages)\n", c, c.Pages)
+		}
+	}
+	// Close before exiting zero so a failed flush (full disk) fails the
+	// run instead of leaving a truncated report.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mapgen:", err)
+			os.Exit(1)
 		}
 	}
 }

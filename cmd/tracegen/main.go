@@ -61,7 +61,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	w, err := trace.NewWriter(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
@@ -82,6 +81,12 @@ func main() {
 		os.Exit(1)
 	}
 	info, _ := f.Stat()
+	// Close before reporting success: a full disk surfaces here, not as
+	// a silently truncated trace.
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("wrote %d records (%d bytes, %.2f B/record) to %s\n",
 		w.Count(), info.Size(), float64(info.Size())/float64(w.Count()), *out)
 }

@@ -11,6 +11,7 @@ import (
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/osmem"
 	"hybridtlb/internal/sim"
+	"hybridtlb/internal/sweep"
 )
 
 // Fig1 reproduces Figure 1: cumulative distributions of contiguous chunk
@@ -103,27 +104,43 @@ func maxChunk(cdf []mem.CDFPoint) uint64 {
 // contiguity, averaged over the suite.
 func runFig2(w io.Writer, opts Options) error {
 	opts = opts.withDefaults()
+	suite := opts.suite()
+	scenarios := []mapping.Scenario{mapping.Low, mapping.Medium, mapping.High}
+	schemes := []mmu.Scheme{mmu.Base, mmu.Cluster, mmu.RMM}
+
+	var b batch
+	baseCells := make([][]int, len(scenarios))
+	schemeCells := make([][][]int, len(scenarios))
+	for si, sc := range scenarios {
+		baseCells[si] = make([]int, len(suite))
+		schemeCells[si] = make([][]int, len(suite))
+		for wi, spec := range suite {
+			cfg := opts.baseConfig(spec, sc)
+			cfg.Scheme = mmu.Base
+			baseCells[si][wi] = b.addCfg(cfg)
+			schemeCells[si][wi] = make([]int, len(schemes))
+			for ki, s := range schemes {
+				c := cfg
+				c.Scheme = s
+				schemeCells[si][wi][ki] = b.addCfg(c)
+			}
+		}
+	}
+	cells, err := b.run(opts)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Figure 2: relative TLB misses of prior techniques (% of base)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "mapping\tbase\tcluster\trmm")
-	for _, sc := range []mapping.Scenario{mapping.Low, mapping.Medium, mapping.High} {
+	for si, sc := range scenarios {
 		sums := map[mmu.Scheme]float64{}
 		n := 0
-		for _, spec := range opts.suite() {
-			cfg := opts.baseConfig(spec, sc)
-			cfg.Scheme = mmu.Base
-			base, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			for _, s := range []mmu.Scheme{mmu.Base, mmu.Cluster, mmu.RMM} {
-				c := cfg
-				c.Scheme = s
-				res, err := sim.Run(c)
-				if err != nil {
-					return err
-				}
-				sums[s] += res.RelativeMisses(base)
+		for wi := range suite {
+			base := cells[baseCells[si][wi]][0].Res
+			for ki, s := range schemes {
+				sums[s] += cells[schemeCells[si][wi][ki]][0].Res.RelativeMisses(base)
 			}
 			n++
 		}
@@ -245,15 +262,20 @@ type Tab5Row struct {
 // Tab5Data computes the Table 5 breakdown for one scenario.
 func Tab5Data(sc mapping.Scenario, opts Options) ([]Tab5Row, error) {
 	opts = opts.withDefaults()
-	var rows []Tab5Row
-	for _, spec := range opts.suite() {
+	suite := opts.suite()
+	var b batch
+	for _, spec := range suite {
 		cfg := opts.baseConfig(spec, sc)
 		cfg.Scheme = mmu.Anchor
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		reg, coal, miss := res.L2Breakdown()
+		b.addCfg(cfg)
+	}
+	cells, err := b.run(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Tab5Row, 0, len(suite))
+	for i, spec := range suite {
+		reg, coal, miss := cells[i][0].Res.L2Breakdown()
 		rows = append(rows, Tab5Row{Workload: spec.Name, RegularHit: reg, AnchorHit: coal, Miss: miss})
 	}
 	return rows, nil
@@ -340,17 +362,31 @@ func CPIFigure(sc mapping.Scenario, opts Options) (map[string]map[string]sim.CPI
 	for _, c := range cols {
 		colNames = append(colNames, c.Name)
 	}
-	out := make(map[string]map[string]sim.CPIBreakdown)
-	hw := mmu.DefaultConfig()
-	for _, spec := range opts.suite() {
-		out[spec.Name] = make(map[string]sim.CPIBreakdown)
+	suite := opts.suite()
+	var b batch
+	cellIdx := make([][]int, len(suite))
+	for i, spec := range suite {
 		cfg := opts.baseConfig(spec, sc)
-		for _, col := range cols {
-			res, err := col.run(cfg)
+		cellIdx[i] = make([]int, len(cols))
+		for j, col := range cols {
+			js, err := col.jobs(cfg)
 			if err != nil {
 				return nil, nil, err
 			}
-			out[spec.Name][col.Name] = res.CPI(hw)
+			cellIdx[i][j] = b.add(js...)
+		}
+	}
+	cells, err := b.run(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := make(map[string]map[string]sim.CPIBreakdown)
+	hw := mmu.DefaultConfig()
+	for i, spec := range suite {
+		out[spec.Name] = make(map[string]sim.CPIBreakdown)
+		for j, col := range cols {
+			out[spec.Name][col.Name] = col.reduce(cells[cellIdx[i][j]]).CPI(hw)
 		}
 	}
 	return out, colNames, nil
@@ -456,30 +492,44 @@ func runSweep(w io.Writer, _ Options) error {
 // weakest.
 func runExt(w io.Writer, opts Options) error {
 	opts = opts.withDefaults()
+	suite := opts.suite()
+	scenarios := []mapping.Scenario{mapping.Eager, mapping.Medium}
+
+	var b batch
+	type extCell struct{ plain, capac, multi int }
+	cellIdx := make([]extCell, 0, len(suite)*len(scenarios))
+	for _, spec := range suite {
+		for _, sc := range scenarios {
+			cfg := opts.baseConfig(spec, sc)
+			cfg.Scheme = mmu.Anchor
+			var c extCell
+			c.plain = b.addCfg(cfg)
+			capac := cfg
+			capac.CostModel = core.CostCapacityAware
+			c.capac = b.addCfg(capac)
+			multi := cfg
+			multi.MultiRegionAnchors = true
+			c.multi = b.addCfg(multi)
+			cellIdx = append(cellIdx, c)
+		}
+	}
+	cells, err := b.run(opts)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Extensions: capacity-aware selection and multi-region anchors (TLB misses)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tmapping\tentry-count\tcapacity-aware\tmulti-region")
-	for _, spec := range opts.suite() {
-		for _, sc := range []mapping.Scenario{mapping.Eager, mapping.Medium} {
-			cfg := opts.baseConfig(spec, sc)
-			cfg.Scheme = mmu.Anchor
-			plain, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			cfg.CostModel = core.CostCapacityAware
-			capac, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			cfg.CostModel = core.CostEntryCount
-			cfg.MultiRegionAnchors = true
-			multi, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
+	i := 0
+	for _, spec := range suite {
+		for _, sc := range scenarios {
+			c := cellIdx[i]
+			i++
 			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\n", spec.Name, sc,
-				plain.Stats.Misses(), capac.Stats.Misses(), multi.Stats.Misses())
+				cells[c.plain][0].Res.Stats.Misses(),
+				cells[c.capac][0].Res.Stats.Misses(),
+				cells[c.multi][0].Res.Stats.Misses())
 		}
 	}
 	tw.Flush()
@@ -493,27 +543,43 @@ func runExt(w io.Writer, opts Options) error {
 // the OS shootdown work.
 func runChurn(w io.Writer, opts Options) error {
 	opts = opts.withDefaults()
-	fmt.Fprintln(w, "Mapping churn (Section 3.3): misses calm vs churned, plus shootdown work")
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tscheme\tcalm misses\tchurned misses\tshootdowns\tremaps")
-	for _, spec := range opts.suite() {
-		for _, s := range []mmu.Scheme{mmu.THP, mmu.Cluster2M, mmu.RMM, mmu.Anchor} {
+	suite := opts.suite()
+	schemes := []mmu.Scheme{mmu.THP, mmu.Cluster2M, mmu.RMM, mmu.Anchor}
+
+	var b batch
+	type churnCell struct{ calm, churned int }
+	cellIdx := make([]churnCell, 0, len(suite)*len(schemes))
+	for _, spec := range suite {
+		for _, s := range schemes {
 			cfg := opts.baseConfig(spec, mapping.Medium)
 			cfg.Scheme = s
-			calm, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			churned, stats, err := sim.RunWithChurn(sim.ChurnConfig{
+			var c churnCell
+			c.calm = b.addCfg(cfg)
+			c.churned = b.add(sweep.Job{
 				Config:                    cfg,
 				ChurnIntervalInstructions: 100_000,
 				ChurnPages:                256,
 			})
-			if err != nil {
-				return err
-			}
+			cellIdx = append(cellIdx, c)
+		}
+	}
+	cells, err := b.run(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Mapping churn (Section 3.3): misses calm vs churned, plus shootdown work")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tscheme\tcalm misses\tchurned misses\tshootdowns\tremaps")
+	i := 0
+	for _, spec := range suite {
+		for _, s := range schemes {
+			c := cellIdx[i]
+			i++
+			churned := cells[c.churned][0]
 			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n", spec.Name, s,
-				calm.Stats.Misses(), churned.Stats.Misses(), stats.EntryShootdowns, stats.Operations)
+				cells[c.calm][0].Res.Stats.Misses(), churned.Res.Stats.Misses(),
+				churned.Churn.EntryShootdowns, churned.Churn.Operations)
 		}
 	}
 	tw.Flush()
@@ -548,11 +614,16 @@ var experiments = map[string]func(io.Writer, Options) error{
 // Names lists the available experiment identifiers in order.
 func Names() []string { return append([]string(nil), experimentOrder...) }
 
-// Run executes one experiment by name ("all" runs everything).
+// Run executes one experiment by name ("all" runs everything). The
+// options are defaulted once up front so every experiment of an "all"
+// run shares one sweep engine — and with it one result cache, so cells
+// repeated across figures (each scenario's base column, the static-ideal
+// probes reused by the miss and CPI figures) simulate once.
 func Run(name string, w io.Writer, opts Options) error {
 	if err := opts.Validate(); err != nil {
 		return err
 	}
+	opts = opts.withDefaults()
 	if name == "all" {
 		for _, n := range experimentOrder {
 			if err := experiments[n](w, opts); err != nil {

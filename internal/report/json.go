@@ -2,7 +2,9 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"strings"
 
 	"hybridtlb/internal/mapping"
 )
@@ -19,14 +21,15 @@ type JSONReport struct {
 		Pressure float64 `json:"pressure"`
 	} `json:"options"`
 	// MissFigures holds Figures 7-9: per-scenario, per-benchmark relative
-	// misses by scheme column.
-	MissFigures map[string]JSONMissFigure `json:"missFigures"`
+	// misses by scheme column. Sections absent from the experiment
+	// selection (see BuildJSONFor) are omitted.
+	MissFigures map[string]JSONMissFigure `json:"missFigures,omitempty"`
 	// Distances holds Table 6: benchmark -> scenario -> selected anchor
 	// distance in pages.
-	Distances map[string]map[string]uint64 `json:"anchorDistances"`
+	Distances map[string]map[string]uint64 `json:"anchorDistances,omitempty"`
 	// L2Breakdown holds Table 5 for the anchor scheme on the medium
 	// mapping: benchmark -> [regularHit, anchorHit, miss] fractions.
-	L2Breakdown map[string][3]float64 `json:"l2Breakdown"`
+	L2Breakdown map[string][3]float64 `json:"l2Breakdown,omitempty"`
 }
 
 // JSONMissFigure is one scenario's miss matrix.
@@ -51,50 +54,101 @@ func toJSONMissFigure(f MissFigure) JSONMissFigure {
 	return out
 }
 
-// BuildJSON runs the figure matrices and assembles the JSON report.
+// JSONExperiments lists the experiment names with a JSON form, in
+// presentation order ("all" emits every section).
+func JSONExperiments() []string {
+	return []string{"all", "fig7", "fig8", "fig9", "tab5", "tab6"}
+}
+
+// BuildJSON runs the figure matrices and assembles the full JSON report.
 func BuildJSON(opts Options) (JSONReport, error) {
+	return BuildJSONFor("all", opts)
+}
+
+// BuildJSONFor assembles the JSON report for one experiment selection:
+// "all" emits every section; fig7/fig8/fig9 emit the corresponding miss
+// figures, tab5 the L2 breakdown, tab6 the anchor distances. Experiments
+// without a JSON form are rejected with an error naming the supported
+// set.
+func BuildJSONFor(name string, opts Options) (JSONReport, error) {
 	opts = opts.withDefaults()
 	var rep JSONReport
 	rep.Options.Accesses = opts.Accesses
 	rep.Options.Seed = opts.Seed
 	rep.Options.Pressure = opts.Pressure
 
-	figs, err := Fig9Data(opts)
-	if err != nil {
-		return rep, err
-	}
-	rep.MissFigures = make(map[string]JSONMissFigure, len(figs))
-	for sc, fig := range figs {
-		rep.MissFigures[sc.String()] = toJSONMissFigure(fig)
-	}
-
-	dists, err := Tab6Data(opts)
-	if err != nil {
-		return rep, err
-	}
-	rep.Distances = make(map[string]map[string]uint64, len(dists))
-	for wl, per := range dists {
-		m := make(map[string]uint64, len(per))
-		for sc, d := range per {
-			m[sc.String()] = d
+	missFigures := func(scs ...mapping.Scenario) error {
+		rep.MissFigures = make(map[string]JSONMissFigure, len(scs))
+		for _, sc := range scs {
+			fig, err := MissesByScenario(sc, opts)
+			if err != nil {
+				return err
+			}
+			rep.MissFigures[sc.String()] = toJSONMissFigure(fig)
 		}
-		rep.Distances[wl] = m
+		return nil
+	}
+	distances := func() error {
+		dists, err := Tab6Data(opts)
+		if err != nil {
+			return err
+		}
+		rep.Distances = make(map[string]map[string]uint64, len(dists))
+		for wl, per := range dists {
+			m := make(map[string]uint64, len(per))
+			for sc, d := range per {
+				m[sc.String()] = d
+			}
+			rep.Distances[wl] = m
+		}
+		return nil
+	}
+	breakdown := func() error {
+		rows, err := Tab5Data(mapping.Medium, opts)
+		if err != nil {
+			return err
+		}
+		rep.L2Breakdown = make(map[string][3]float64, len(rows))
+		for _, r := range rows {
+			rep.L2Breakdown[r.Workload] = [3]float64{r.RegularHit, r.AnchorHit, r.Miss}
+		}
+		return nil
 	}
 
-	rows, err := Tab5Data(mapping.Medium, opts)
-	if err != nil {
-		return rep, err
+	var err error
+	switch name {
+	case "all":
+		if err = missFigures(mapping.All()...); err == nil {
+			if err = distances(); err == nil {
+				err = breakdown()
+			}
+		}
+	case "fig7":
+		err = missFigures(mapping.Demand)
+	case "fig8":
+		err = missFigures(mapping.Medium)
+	case "fig9":
+		err = missFigures(mapping.All()...)
+	case "tab5":
+		err = breakdown()
+	case "tab6":
+		err = distances()
+	default:
+		err = fmt.Errorf("report: experiment %q has no JSON form (JSON supports %s)",
+			name, strings.Join(JSONExperiments(), ", "))
 	}
-	rep.L2Breakdown = make(map[string][3]float64, len(rows))
-	for _, r := range rows {
-		rep.L2Breakdown[r.Workload] = [3]float64{r.RegularHit, r.AnchorHit, r.Miss}
-	}
-	return rep, nil
+	return rep, err
 }
 
 // WriteJSON emits the full evaluation as indented JSON.
 func WriteJSON(w io.Writer, opts Options) error {
-	rep, err := BuildJSON(opts)
+	return WriteJSONFor("all", w, opts)
+}
+
+// WriteJSONFor emits one experiment selection (see BuildJSONFor) as
+// indented JSON.
+func WriteJSONFor(name string, w io.Writer, opts Options) error {
+	rep, err := BuildJSONFor(name, opts)
 	if err != nil {
 		return err
 	}

@@ -9,20 +9,27 @@
 // also exposed as structured data so tests and benchmarks can assert the
 // reproduced *shape*: who wins, by roughly what factor, and where the
 // crossovers fall.
+//
+// Every simulation-running generator routes its cells through one
+// internal/sweep engine: the scheme × workload matrices execute on a
+// bounded worker pool and repeated cells (the base scheme shared by every
+// figure, static-ideal's sixteen distance probes) are simulated once per
+// engine. Results are collected in spec order before printing, so the
+// output is byte-identical to a serial run.
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"text/tabwriter"
 
 	"hybridtlb/internal/mapping"
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/sim"
+	"hybridtlb/internal/sweep"
 	"hybridtlb/internal/workload"
 )
 
@@ -51,6 +58,17 @@ type Options struct {
 	// output stays deterministic because results are collected before
 	// printing.
 	Parallelism int
+	// Engine, when set, runs every simulation: sharing one engine across
+	// experiments shares its result cache, so cells repeated between
+	// figures are simulated once per process. When nil, a fresh engine
+	// (with Parallelism and Progress applied) is created per top-level
+	// call.
+	Engine *sweep.Engine
+	// Progress observes sweep completion (ignored when Engine is set;
+	// pass the hook to sweep.New instead).
+	Progress sweep.ProgressFunc
+	// Context cancels in-flight experiment sweeps (nil: background).
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -69,45 +87,52 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.Engine == nil {
+		o.Engine = sweep.New(sweep.Options{Parallelism: o.Parallelism, Progress: o.Progress})
+	}
 	return o
 }
 
-// forEachIndex runs fn(i) for i in [0, n) across the options' parallelism
-// and returns the first error.
-func (o Options) forEachIndex(n int, fn func(i int) error) error {
-	if n == 0 {
-		return nil
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
 	}
-	workers := o.Parallelism
-	if workers > n {
-		workers = n
+	return context.Background()
+}
+
+// batch accumulates sweep jobs for one experiment while remembering cell
+// boundaries, so a whole figure dispatches to the engine as one job list
+// and the flat results slice back into logical cells.
+type batch struct {
+	jobs  []sweep.Job
+	spans [][2]int
+}
+
+// add appends one cell of jobs and returns its cell index.
+func (b *batch) add(js ...sweep.Job) int {
+	start := len(b.jobs)
+	b.jobs = append(b.jobs, js...)
+	b.spans = append(b.spans, [2]int{start, len(b.jobs)})
+	return len(b.spans) - 1
+}
+
+// addCfg appends a single-job cell.
+func (b *batch) addCfg(cfg sim.Config) int {
+	return b.add(sweep.Job{Config: cfg})
+}
+
+// run executes the batch on the options' engine and returns per-cell
+// results in cell order.
+func (b *batch) run(opts Options) ([][]sweep.Result, error) {
+	results, err := opts.Engine.Run(opts.ctx(), b.jobs)
+	if err != nil {
+		return nil, err
 	}
-	var (
-		wg    sync.WaitGroup
-		next  atomic.Int64
-		first atomic.Value
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					first.CompareAndSwap(nil, err)
-					return
-				}
-			}
-		}()
+	out := make([][]sweep.Result, len(b.spans))
+	for i, sp := range b.spans {
+		out[i] = results[sp[0]:sp[1]]
 	}
-	wg.Wait()
-	if err, ok := first.Load().(error); ok {
-		return err
-	}
-	return nil
+	return out, nil
 }
 
 func (o Options) suite() []workload.Spec {
@@ -142,35 +167,56 @@ func (o Options) Validate() error {
 // Column is one scheme column of a miss/CPI figure. Dynamic and
 // static-ideal are distinct columns over the same anchor hardware.
 type Column struct {
-	Name string
-	run  func(cfg sim.Config) (sim.Result, error)
+	Name   string
+	Scheme mmu.Scheme
+	// StaticIdeal marks the exhaustive static-ideal column: its cell
+	// expands to one probe per candidate anchor distance, reduced to the
+	// best run.
+	StaticIdeal bool
 }
 
 // Columns returns the figure columns in the paper's legend order:
 // Base, THP, Cluster, Cluster-2MB, RMM, Dynamic, Static Ideal.
 func Columns(skipStaticIdeal bool) []Column {
-	plain := func(s mmu.Scheme) func(sim.Config) (sim.Result, error) {
-		return func(cfg sim.Config) (sim.Result, error) {
-			cfg.Scheme = s
-			return sim.Run(cfg)
-		}
-	}
 	cols := []Column{
-		{"base", plain(mmu.Base)},
-		{"thp", plain(mmu.THP)},
-		{"cluster", plain(mmu.Cluster)},
-		{"cl.2mb", plain(mmu.Cluster2M)},
-		{"rmm", plain(mmu.RMM)},
-		{"dynamic", plain(mmu.Anchor)},
+		{Name: "base", Scheme: mmu.Base},
+		{Name: "thp", Scheme: mmu.THP},
+		{Name: "cluster", Scheme: mmu.Cluster},
+		{Name: "cl.2mb", Scheme: mmu.Cluster2M},
+		{Name: "rmm", Scheme: mmu.RMM},
+		{Name: "dynamic", Scheme: mmu.Anchor},
 	}
 	if !skipStaticIdeal {
-		cols = append(cols, Column{"s.ideal", func(cfg sim.Config) (sim.Result, error) {
-			cfg.Scheme = mmu.Anchor
-			best, _, err := sim.RunStaticIdeal(cfg)
-			return best, err
-		}})
+		cols = append(cols, Column{Name: "s.ideal", Scheme: mmu.Anchor, StaticIdeal: true})
 	}
 	return cols
+}
+
+// jobs expands the column's cell for one base config into its sweep
+// jobs.
+func (c Column) jobs(cfg sim.Config) ([]sweep.Job, error) {
+	cfg.Scheme = c.Scheme
+	if c.StaticIdeal {
+		cfgs, err := sim.StaticIdealConfigs(cfg)
+		if err != nil {
+			return nil, err
+		}
+		js := make([]sweep.Job, len(cfgs))
+		for i, pc := range cfgs {
+			js[i] = sweep.Job{Config: pc}
+		}
+		return js, nil
+	}
+	return []sweep.Job{{Config: cfg}}, nil
+}
+
+// reduce folds a cell's results back into the column's single simulation
+// result.
+func (c Column) reduce(cell []sweep.Result) sim.Result {
+	if c.StaticIdeal {
+		return sim.BestStaticIdeal(sweep.Results(cell))
+	}
+	return cell[0].Res
 }
 
 // MissRow is one benchmark's relative TLB misses across scheme columns
@@ -213,6 +259,9 @@ func (o Options) baseConfig(spec workload.Spec, sc mapping.Scenario) sim.Config 
 
 // MissesByScenario runs the full scheme matrix for one mapping scenario —
 // the computation behind Figures 7 (demand) and 8 (medium contiguity).
+// The whole matrix dispatches as one engine batch: every cell runs
+// concurrently and the per-row base cell is shared with the base column
+// through the result cache.
 func MissesByScenario(sc mapping.Scenario, opts Options) (MissFigure, error) {
 	opts = opts.withDefaults()
 	cols := Columns(opts.SkipStaticIdeal)
@@ -221,27 +270,37 @@ func MissesByScenario(sc mapping.Scenario, opts Options) (MissFigure, error) {
 		fig.Columns = append(fig.Columns, c.Name)
 	}
 	suite := opts.suite()
-	rows := make([]MissRow, len(suite))
-	err := opts.forEachIndex(len(suite), func(i int) error {
-		spec := suite[i]
+
+	var b batch
+	baseCells := make([]int, len(suite))
+	colCells := make([][]int, len(suite))
+	for i, spec := range suite {
 		cfg := opts.baseConfig(spec, sc)
-		base, err := sim.Run(func() sim.Config { c := cfg; c.Scheme = mmu.Base; return c }())
-		if err != nil {
-			return fmt.Errorf("report: %s/%v base: %w", spec.Name, sc, err)
-		}
-		row := MissRow{Workload: spec.Name, Relative: make(map[string]float64), Base: base}
-		for _, col := range cols {
-			res, err := col.run(cfg)
+		baseCfg := cfg
+		baseCfg.Scheme = mmu.Base
+		baseCells[i] = b.addCfg(baseCfg)
+		colCells[i] = make([]int, len(cols))
+		for j, col := range cols {
+			js, err := col.jobs(cfg)
 			if err != nil {
-				return fmt.Errorf("report: %s/%v %s: %w", spec.Name, sc, col.Name, err)
+				return fig, fmt.Errorf("report: %s/%v %s: %w", spec.Name, sc, col.Name, err)
 			}
-			row.Relative[col.Name] = res.RelativeMisses(base)
+			colCells[i][j] = b.add(js...)
+		}
+	}
+	cells, err := b.run(opts)
+	if err != nil {
+		return fig, fmt.Errorf("report: %v: %w", sc, err)
+	}
+
+	rows := make([]MissRow, len(suite))
+	for i, spec := range suite {
+		base := cells[baseCells[i]][0].Res
+		row := MissRow{Workload: spec.Name, Relative: make(map[string]float64), Base: base}
+		for j, col := range cols {
+			row.Relative[col.Name] = col.reduce(cells[colCells[i][j]]).RelativeMisses(base)
 		}
 		rows[i] = row
-		return nil
-	})
-	if err != nil {
-		return fig, err
 	}
 	fig.Rows = rows
 	return fig, nil

@@ -61,6 +61,12 @@ type Config struct {
 	DetailedWalk bool
 }
 
+// WithDefaults returns the config with every zero field replaced by its
+// default — the configuration Run actually simulates. The sweep engine
+// normalizes configs this way before hashing, so a config and its
+// defaulted form share one cache cell. It is idempotent.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.HW == (mmu.Config{}) {
 		c.HW = mmu.DefaultConfig()
@@ -257,27 +263,54 @@ func subStats(a, b mmu.Stats) mmu.Stats {
 	}
 }
 
+// StaticIdealConfigs expands the paper's "static ideal" configuration
+// into its per-distance probe configs: one run per candidate anchor
+// distance with the dynamic selection disabled. Callers run the probes —
+// serially here in RunStaticIdeal, or concurrently and cached through
+// internal/sweep — and reduce them with BestStaticIdeal.
+func StaticIdealConfigs(cfg Config) ([]Config, error) {
+	if !cfg.Scheme.Policy().Anchors {
+		return nil, fmt.Errorf("sim: static-ideal requires an anchor scheme, got %v", cfg.Scheme)
+	}
+	ds := core.Distances()
+	out := make([]Config, 0, len(ds))
+	for _, d := range ds {
+		c := cfg
+		c.FixedDistance = d
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// BestStaticIdeal picks the static-ideal winner from per-distance
+// results in StaticIdealConfigs order: fewest misses, earliest distance
+// on ties.
+func BestStaticIdeal(all []Result) Result {
+	var best Result
+	for i, r := range all {
+		if i == 0 || r.Stats.Misses() < best.Stats.Misses() {
+			best = r
+		}
+	}
+	return best
+}
+
 // RunStaticIdeal exhaustively evaluates every anchor distance with the
 // dynamic selection disabled and returns the best run (fewest misses)
 // — the paper's "static ideal" configuration — along with every
 // per-distance result.
 func RunStaticIdeal(cfg Config) (Result, []Result, error) {
-	if !cfg.Scheme.Policy().Anchors {
-		return Result{}, nil, fmt.Errorf("sim: static-ideal requires an anchor scheme, got %v", cfg.Scheme)
+	cfgs, err := StaticIdealConfigs(cfg)
+	if err != nil {
+		return Result{}, nil, err
 	}
-	var best Result
-	var all []Result
-	for _, d := range core.Distances() {
-		c := cfg
-		c.FixedDistance = d
+	all := make([]Result, 0, len(cfgs))
+	for _, c := range cfgs {
 		r, err := Run(c)
 		if err != nil {
 			return Result{}, nil, err
 		}
 		all = append(all, r)
-		if len(all) == 1 || r.Stats.Misses() < best.Stats.Misses() {
-			best = r
-		}
 	}
-	return best, all, nil
+	return BestStaticIdeal(all), all, nil
 }

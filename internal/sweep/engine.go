@@ -1,0 +1,276 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hybridtlb/internal/sim"
+)
+
+// ProgressFunc observes sweep completion: done jobs out of total in the
+// current batch, and the job that just finished. Calls are serialized by
+// the engine, so implementations need no locking of their own; they must
+// not block for long, since they run on the worker hot path.
+type ProgressFunc func(done, total int, job Job)
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism bounds concurrently running simulations
+	// (0: runtime.GOMAXPROCS(0)).
+	Parallelism int
+	// Progress, when non-nil, is invoked as jobs complete.
+	Progress ProgressFunc
+	// DisableCache turns off result memoization; every job is simulated,
+	// including duplicates within one batch.
+	DisableCache bool
+}
+
+// CacheStats counts the engine's cache traffic across its lifetime.
+type CacheStats struct {
+	// Jobs is the total number of jobs submitted.
+	Jobs int
+	// Hits counts jobs served without a new simulation: either from the
+	// cache of an earlier batch or coalesced with an identical job in
+	// the same batch.
+	Hits int
+	// Misses counts jobs that actually simulated.
+	Misses int
+}
+
+// cached is one memoized job outcome. Failed jobs are never cached.
+type cached struct {
+	res   sim.Result
+	churn sim.ChurnStats
+}
+
+// Engine executes sweep jobs on a bounded worker pool with a
+// content-addressed result cache. An Engine is safe for concurrent use
+// and is typically shared across experiments so common cells (the base
+// scheme, static-ideal probes) are computed once per process.
+//
+// Cached sim.Result values are shared between the jobs they serve;
+// callers must treat results (including the AnchorActions map) as
+// read-only.
+type Engine struct {
+	parallelism  int
+	progress     ProgressFunc
+	disableCache bool
+
+	// runJob is the execution function; tests substitute it to inject
+	// panics, blocking and completion-order inversions.
+	runJob func(Job) (sim.Result, sim.ChurnStats, error)
+
+	mu    sync.Mutex
+	cache map[string]cached
+	stats CacheStats
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	p := opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		parallelism:  p,
+		progress:     opts.Progress,
+		disableCache: opts.DisableCache,
+		runJob:       execute,
+		cache:        make(map[string]cached),
+	}
+}
+
+// Stats returns the engine's cumulative cache statistics.
+func (e *Engine) Stats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// execute runs one job.
+func execute(j Job) (res sim.Result, churn sim.ChurnStats, err error) {
+	if j.ChurnIntervalInstructions != 0 || j.ChurnPages != 0 {
+		return sim.RunWithChurn(sim.ChurnConfig{
+			Config:                    j.Config,
+			ChurnIntervalInstructions: j.ChurnIntervalInstructions,
+			ChurnPages:                j.ChurnPages,
+		})
+	}
+	res, err = sim.Run(j.Config)
+	return res, sim.ChurnStats{}, err
+}
+
+// safeRun executes one job, converting a panic anywhere in the
+// simulator into a per-job error naming the job, so one failing cell
+// cannot kill the sweep.
+func (e *Engine) safeRun(j Job) (res sim.Result, churn sim.ChurnStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job %s: panic: %v", j, p)
+		}
+	}()
+	res, churn, err = e.runJob(j)
+	if err != nil {
+		err = fmt.Errorf("job %s: %w", j, err)
+	}
+	return res, churn, err
+}
+
+// task is one unique simulation of a batch, fanned out to every job
+// position that shares its key.
+type task struct {
+	job       Job
+	key       string
+	positions []int
+}
+
+// Run executes the jobs and returns their results in input order,
+// regardless of completion order. Jobs whose key is already cached (or
+// duplicated within the batch) are served without re-simulation.
+//
+// The returned error is nil only if every job succeeded: it is the
+// context's error after cancellation, or an aggregate naming the failed
+// jobs otherwise. Per-job outcomes — including per-job errors — are
+// always available in the result slice.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	total := len(jobs)
+	if total == 0 {
+		return results, nil
+	}
+
+	// Progress calls are serialized; done counts job positions, so it
+	// reaches total even when many positions share one simulation.
+	var progressMu sync.Mutex
+	var done int
+	report := func(positions ...int) {
+		if e.progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		for _, i := range positions {
+			done++
+			e.progress(done, total, results[i].Job)
+		}
+	}
+
+	// Plan sequentially: resolve cache hits, coalesce duplicate keys.
+	// Planning under the lock keeps hit/miss counting deterministic.
+	var tasks []*task
+	var hits []int
+	e.mu.Lock()
+	e.stats.Jobs += total
+	byKey := make(map[string]*task)
+	for i, j := range jobs {
+		j.Config = j.Config.WithDefaults()
+		results[i].Job = j
+		if e.disableCache {
+			e.stats.Misses++
+			tasks = append(tasks, &task{job: j, positions: []int{i}})
+			continue
+		}
+		key := j.Key()
+		if c, ok := e.cache[key]; ok {
+			e.stats.Hits++
+			results[i].Res, results[i].Churn, results[i].Cached = c.res, c.churn, true
+			hits = append(hits, i)
+			continue
+		}
+		if t, ok := byKey[key]; ok {
+			e.stats.Hits++
+			results[i].Cached = true
+			t.positions = append(t.positions, i)
+			continue
+		}
+		e.stats.Misses++
+		t := &task{job: j, key: key, positions: []int{i}}
+		byKey[key] = t
+		tasks = append(tasks, t)
+	}
+	e.mu.Unlock()
+	report(hits...)
+
+	workers := e.parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(tasks) {
+					return
+				}
+				t := tasks[n]
+				if err := ctx.Err(); err != nil {
+					// Drain the queue, marking unstarted jobs cancelled.
+					for _, i := range t.positions {
+						results[i].Err = err
+					}
+					report(t.positions...)
+					continue
+				}
+				res, churn, err := e.safeRun(t.job)
+				if err == nil && !e.disableCache {
+					e.mu.Lock()
+					e.cache[t.key] = cached{res: res, churn: churn}
+					e.mu.Unlock()
+				}
+				for _, i := range t.positions {
+					results[i].Res, results[i].Churn, results[i].Err = res, churn, err
+				}
+				report(t.positions...)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, failures(results)
+}
+
+// failures aggregates per-job errors into one error naming the failed
+// jobs (nil when everything succeeded).
+func failures(results []Result) error {
+	var first error
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			if first == nil {
+				first = r.Err
+			}
+			n++
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	if n == 1 {
+		return fmt.Errorf("sweep: %w", first)
+	}
+	return fmt.Errorf("sweep: %d of %d jobs failed, first: %w", n, len(results), first)
+}
+
+// Results unwraps a result slice into the bare simulation results,
+// dropping per-job metadata. It must only be called on an error-free
+// sweep.
+func Results(rs []Result) []sim.Result {
+	out := make([]sim.Result, len(rs))
+	for i, r := range rs {
+		out[i] = r.Res
+	}
+	return out
+}

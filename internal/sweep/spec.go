@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/sim"
+	"hybridtlb/internal/workload"
+)
+
+// Spec declares a sweep as the cross product of its axis lists over a
+// base configuration. A nil/empty axis contributes the base config's own
+// value, so the zero Spec with a populated Base expands to exactly one
+// job.
+type Spec struct {
+	// Base supplies every field the axes don't vary (accesses, hardware,
+	// cost model, ...). Axis values override the corresponding field.
+	Base sim.Config
+
+	Schemes   []mmu.Scheme
+	Workloads []workload.Spec
+	Scenarios []mapping.Scenario
+	Seeds     []int64
+	Pressures []float64
+	// Distances are FixedDistance values; 0 means dynamic selection.
+	Distances []uint64
+}
+
+// Size returns the number of jobs the spec expands to.
+func (s Spec) Size() int {
+	n := 1
+	for _, axis := range []int{
+		len(s.Workloads), len(s.Scenarios), len(s.Schemes),
+		len(s.Seeds), len(s.Pressures), len(s.Distances),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Jobs expands the cross product in deterministic order: workloads
+// outermost, then scenarios, schemes, seeds, pressures, distances — the
+// row-major order the report tables print in.
+func (s Spec) Jobs() []Job {
+	jobs := make([]Job, 0, s.Size())
+	for _, wl := range orDefault(s.Workloads, s.Base.Workload) {
+		for _, sc := range orDefault(s.Scenarios, s.Base.Scenario) {
+			for _, scheme := range orDefault(s.Schemes, s.Base.Scheme) {
+				for _, seed := range orDefault(s.Seeds, s.Base.Seed) {
+					for _, press := range orDefault(s.Pressures, s.Base.Pressure) {
+						for _, dist := range orDefault(s.Distances, s.Base.FixedDistance) {
+							cfg := s.Base
+							cfg.Workload = wl
+							cfg.Scenario = sc
+							cfg.Scheme = scheme
+							cfg.Seed = seed
+							cfg.Pressure = press
+							cfg.FixedDistance = dist
+							jobs = append(jobs, Job{Config: cfg})
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// orDefault returns the axis values, or the base value as a one-element
+// axis when the list is empty.
+func orDefault[T any](axis []T, base T) []T {
+	if len(axis) == 0 {
+		return []T{base}
+	}
+	return axis
+}

@@ -1,0 +1,31 @@
+package sweep
+
+import (
+	"context"
+
+	"hybridtlb/internal/sim"
+)
+
+// StaticIdeal evaluates the paper's static-ideal configuration — every
+// candidate anchor distance with dynamic selection disabled — through
+// the engine, so the sixteen distance probes run concurrently and
+// repeated probes (the same cell appearing in several figures) are
+// served from the result cache. It returns the best run (fewest misses,
+// earliest distance on ties) and every per-distance result, matching
+// sim.RunStaticIdeal bit for bit.
+func StaticIdeal(ctx context.Context, e *Engine, cfg sim.Config) (sim.Result, []sim.Result, error) {
+	cfgs, err := sim.StaticIdealConfigs(cfg)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	jobs := make([]Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = Job{Config: c}
+	}
+	results, err := e.Run(ctx, jobs)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	all := Results(results)
+	return sim.BestStaticIdeal(all), all, nil
+}

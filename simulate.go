@@ -106,27 +106,27 @@ func (r SimulationResult) MissesPerMillionInstructions() float64 {
 	return float64(r.Stats.Misses) / float64(r.Instructions) * 1e6
 }
 
-// Simulate runs one benchmark over one mapping scenario through one
-// translation scheme and reports the paper's metrics.
-func Simulate(cfg SimulationConfig) (SimulationResult, error) {
+// toSimConfig validates the config's names and assembles the internal
+// simulator configuration plus the resolved hardware description.
+func (cfg SimulationConfig) toSimConfig() (sim.Config, mmu.Config, error) {
 	scheme, err := mmu.ParseScheme(cfg.Scheme)
 	if err != nil {
-		return SimulationResult{}, err
+		return sim.Config{}, mmu.Config{}, err
 	}
 	spec, err := workload.ByName(cfg.Workload)
 	if err != nil {
-		return SimulationResult{}, err
+		return sim.Config{}, mmu.Config{}, err
 	}
 	scenario, err := mapping.ParseScenario(cfg.Scenario)
 	if err != nil {
-		return SimulationResult{}, err
+		return sim.Config{}, mmu.Config{}, err
 	}
 	costModel, err := core.ParseCostModel(cfg.CostModel)
 	if err != nil {
-		return SimulationResult{}, err
+		return sim.Config{}, mmu.Config{}, err
 	}
 	hw := cfg.Hardware.toConfig()
-	simCfg := sim.Config{
+	return sim.Config{
 		Scheme:             scheme,
 		Workload:           spec,
 		Scenario:           scenario,
@@ -138,6 +138,15 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 		FixedDistance:      cfg.FixedAnchorDistance,
 		CostModel:          costModel,
 		MultiRegionAnchors: cfg.MultiRegionAnchors,
+	}, hw, nil
+}
+
+// Simulate runs one benchmark over one mapping scenario through one
+// translation scheme and reports the paper's metrics.
+func Simulate(cfg SimulationConfig) (SimulationResult, error) {
+	simCfg, hw, err := cfg.toSimConfig()
+	if err != nil {
+		return SimulationResult{}, err
 	}
 	var res sim.Result
 	if cfg.TracePath != "" {

@@ -1,0 +1,128 @@
+package hybridtlb
+
+import (
+	"context"
+	"fmt"
+
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/sweep"
+)
+
+// SweepOptions tunes SimulateSweep.
+type SweepOptions struct {
+	// Parallelism bounds concurrently running simulations
+	// (0: runtime.GOMAXPROCS(0)).
+	Parallelism int
+	// Progress, when non-nil, observes completion: done jobs out of
+	// total. Calls are serialized by the engine.
+	Progress func(done, total int)
+	// DisableCache turns off result memoization; by default identical
+	// configs in the sweep are simulated once and shared.
+	DisableCache bool
+}
+
+// SweepResult pairs one sweep config's metrics with its per-job outcome.
+type SweepResult struct {
+	SimulationResult
+	// Cached reports that the result was served from the sweep's result
+	// cache (an identical config appeared earlier in the sweep).
+	Cached bool
+	// Err is this config's failure: an invalid name, a simulation error
+	// or a recovered panic. The rest of the sweep still runs.
+	Err error
+}
+
+// SimulateSweep runs a batch of simulations concurrently on a bounded
+// worker pool and returns their results in input order, regardless of
+// completion order. Identical configs — the same cell appearing several
+// times in a figure cross-product — are simulated once and served from a
+// content-addressed result cache. Each simulation owns its RNG, seeded
+// from its config, so the sweep's results are bit-identical to calling
+// Simulate serially.
+//
+// One failing cell does not kill the sweep: its error is reported in its
+// SweepResult (and summarized in the returned error) while every other
+// cell completes. Cancelling ctx stops dispatching new simulations; jobs
+// not yet started report the context's error.
+//
+// TracePath replay is not supported in sweeps; such configs fail
+// per-job.
+func SimulateSweep(ctx context.Context, cfgs []SimulationConfig, opts SweepOptions) ([]SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]SweepResult, len(cfgs))
+
+	// Validate and convert up front; invalid configs fail per-job
+	// without occupying the pool.
+	jobs := make([]sweep.Job, 0, len(cfgs))
+	positions := make([]int, 0, len(cfgs)) // job index -> result index
+	hws := make([]mmu.Config, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.TracePath != "" {
+			results[i].Err = fmt.Errorf("hybridtlb: sweep job %d: TracePath replay is not supported in SimulateSweep", i)
+			continue
+		}
+		simCfg, hw, err := cfg.toSimConfig()
+		if err != nil {
+			results[i].Err = fmt.Errorf("hybridtlb: sweep job %d: %w", i, err)
+			continue
+		}
+		jobs = append(jobs, sweep.Job{Config: simCfg})
+		positions = append(positions, i)
+		hws = append(hws, hw)
+	}
+
+	var progress sweep.ProgressFunc
+	if opts.Progress != nil {
+		// The engine's total counts only the valid jobs; report against
+		// the caller's config count so done reaches len(cfgs).
+		skipped := len(cfgs) - len(jobs)
+		progress = func(done, total int, _ sweep.Job) {
+			opts.Progress(skipped+done, skipped+total)
+		}
+	}
+	eng := sweep.New(sweep.Options{
+		Parallelism:  opts.Parallelism,
+		Progress:     progress,
+		DisableCache: opts.DisableCache,
+	})
+	swept, _ := eng.Run(ctx, jobs)
+	for j, r := range swept {
+		i := positions[j]
+		if r.Err != nil {
+			results[i].Err = fmt.Errorf("hybridtlb: sweep job %d: %w", i, r.Err)
+			continue
+		}
+		results[i].SimulationResult = toSimulationResult(r.Res, hws[j])
+		results[i].Cached = r.Cached
+	}
+
+	return results, sweepFailures(ctx, results)
+}
+
+// sweepFailures summarizes per-job errors (nil when every job
+// succeeded); after cancellation it returns the context's error.
+func sweepFailures(ctx context.Context, results []SweepResult) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var first error
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			if first == nil {
+				first = r.Err
+			}
+			n++
+		}
+	}
+	switch {
+	case first == nil:
+		return nil
+	case n == 1:
+		return first
+	default:
+		return fmt.Errorf("%d of %d sweep jobs failed, first: %w", n, len(results), first)
+	}
+}

@@ -1,0 +1,90 @@
+package hybridtlb
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSimulateSweepMatchesSimulate(t *testing.T) {
+	var cfgs []SimulationConfig
+	for _, scheme := range []string{SchemeBase, SchemeAnchor} {
+		for _, wl := range []string{"gups", "omnetpp"} {
+			cfgs = append(cfgs, SimulationConfig{
+				Scheme:         scheme,
+				Workload:       wl,
+				Scenario:       "demand",
+				Accesses:       20_000,
+				FootprintPages: 1 << 12,
+				Seed:           3,
+			})
+		}
+	}
+	// The last config repeats the first: it must be cache-served.
+	cfgs = append(cfgs, cfgs[0])
+
+	swept, err := SimulateSweep(context.Background(), cfgs, SweepOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(swept), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		serial, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swept[i].Err != nil {
+			t.Fatalf("config %d failed: %v", i, swept[i].Err)
+		}
+		if !reflect.DeepEqual(serial, swept[i].SimulationResult) {
+			t.Errorf("config %d (%s/%s) differs from serial Simulate:\n%+v\nvs\n%+v",
+				i, cfg.Scheme, cfg.Workload, serial, swept[i].SimulationResult)
+		}
+	}
+	if swept[len(swept)-1].Cached != true {
+		t.Error("duplicate config was not served from the cache")
+	}
+
+	var calls, lastDone, lastTotal int
+	if _, err := SimulateSweep(context.Background(), cfgs, SweepOptions{
+		Parallelism: 2,
+		Progress:    func(done, total int) { calls++; lastDone, lastTotal = done, total },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(cfgs) || lastDone != len(cfgs) || lastTotal != len(cfgs) {
+		t.Errorf("progress: %d calls, final %d/%d, want %d/%d/%d",
+			calls, lastDone, lastTotal, len(cfgs), len(cfgs), len(cfgs))
+	}
+}
+
+func TestSimulateSweepPerJobErrors(t *testing.T) {
+	cfgs := []SimulationConfig{
+		{Scheme: SchemeAnchor, Workload: "gups", Scenario: "demand",
+			Accesses: 5_000, FootprintPages: 1 << 10},
+		{Scheme: "bogus", Workload: "gups", Scenario: "demand"},
+		{Scheme: SchemeBase, Workload: "gups", Scenario: "demand", TracePath: "x.trc"},
+	}
+	results, err := SimulateSweep(context.Background(), cfgs, SweepOptions{})
+	if err == nil {
+		t.Fatal("sweep with invalid configs returned nil error")
+	}
+	if results[0].Err != nil {
+		t.Errorf("valid config failed: %v", results[0].Err)
+	}
+	if results[0].Stats.Accesses == 0 {
+		t.Error("valid config did not simulate")
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "job 1") {
+		t.Errorf("invalid scheme error = %v", results[1].Err)
+	}
+	if results[2].Err == nil || !strings.Contains(results[2].Err.Error(), "TracePath") {
+		t.Errorf("trace replay error = %v", results[2].Err)
+	}
+	if !strings.Contains(err.Error(), "2 of 3") {
+		t.Errorf("aggregate error = %v", err)
+	}
+}
