@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench experiments
+.PHONY: check vet build test race bench experiments serve
 
 check: vet build race
 
@@ -24,3 +24,7 @@ bench:
 # Full evaluation tables/figures (cmd/experiments at default scale).
 experiments:
 	$(GO) run ./cmd/experiments -exp all -progress
+
+# Local simulation service on :8080 (see README for the API).
+serve:
+	$(GO) run ./cmd/tlbserver -addr :8080

@@ -1,4 +1,4 @@
-package hybridtlb
+package hybridtlb_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation (Section 5), plus ablation benches for the design choices
@@ -7,16 +7,27 @@ package hybridtlb
 // through b.ReportMetric, so `go test -bench=. -benchmem` both times the
 // harness and regenerates the result shapes. The full-scale rows are
 // printed by cmd/experiments.
+//
+// (External test package: the server benchmarks import internal/server,
+// which itself imports hybridtlb — an in-package test file would cycle.)
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"testing"
 
+	"hybridtlb"
 	"hybridtlb/internal/core"
 	"hybridtlb/internal/mapping"
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/report"
+	"hybridtlb/internal/server"
 	"hybridtlb/internal/sim"
 	"hybridtlb/internal/sweep"
 	"hybridtlb/internal/workload"
@@ -393,11 +404,11 @@ func BenchmarkAblationDetailedWalk(b *testing.B) {
 // BenchmarkTranslatePublicAPI measures raw translation throughput through
 // the public System API (anchor hits on a warm TLB).
 func BenchmarkTranslatePublicAPI(b *testing.B) {
-	sys, err := NewSystem(SchemeAnchor)
+	sys, err := hybridtlb.NewSystem(hybridtlb.SchemeAnchor)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := sys.Map([]Chunk{{VirtPage: 0x10000, PhysPage: 1 << 24, Pages: 1 << 16}}); err != nil {
+	if err := sys.Map([]hybridtlb.Chunk{{VirtPage: 0x10000, PhysPage: 1 << 24, Pages: 1 << 16}}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -452,6 +463,99 @@ func BenchmarkExperimentHarness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := report.Run("fig2", io.Discard, opts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchServer assembles a tlbserver handler with logging discarded.
+func newBenchServer(b *testing.B, cfg server.Config) *httptest.Server {
+	b.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	b.Cleanup(func() { srv.Drain(context.Background()) })
+	return ts
+}
+
+// BenchmarkServerSimulate measures end-to-end requests/sec of the
+// synchronous POST /v1/simulate path — HTTP decode, validation, the
+// shared sweeper, JSON encode. The cached variant repeats one config
+// (every request after the first is a result-cache hit: the serving
+// overhead floor); the uncached variant varies the seed per request so
+// every call simulates (EXPERIMENTS.md records both).
+func BenchmarkServerSimulate(b *testing.B) {
+	run := func(b *testing.B, body func(i int) string) {
+		ts := newBenchServer(b, server.Config{Workers: 4})
+		client := ts.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(ts.URL+"/v1/simulate", "application/json",
+				bytes.NewReader([]byte(body(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				out, _ := io.ReadAll(resp.Body)
+				b.Fatalf("status %d: %s", resp.StatusCode, out)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		run(b, func(int) string {
+			return `{"scheme":"anchor","workload":"gups","scenario":"medium","accesses":20000}`
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		run(b, func(i int) string {
+			return `{"scheme":"anchor","workload":"gups","scenario":"medium","accesses":20000,"seed":` +
+				strconv.Itoa(i+1) + `}`
+		})
+	})
+}
+
+// BenchmarkServerSweep measures the asynchronous path end to end:
+// submit a grid, poll to completion. One iteration is one full job
+// lifecycle on a 2-worker pool.
+func BenchmarkServerSweep(b *testing.B) {
+	ts := newBenchServer(b, server.Config{Workers: 2, QueueDepth: 64})
+	client := ts.Client()
+	grid := `{"schemes":["base","anchor"],"workloads":["gups"],"scenarios":["medium"],"accesses":20000}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(grid)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc struct {
+			StatusURL string `json:"status_url"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		for {
+			resp, err := client.Get(ts.URL + acc.StatusURL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if st.State == "done" {
+				break
+			}
+			if st.State == "failed" || st.State == "canceled" {
+				b.Fatalf("sweep ended %s", st.State)
+			}
 		}
 	}
 }

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hybridtlb/internal/report"
@@ -35,6 +39,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the in-flight sweep through the engine's context
+	// support: running simulations finish, undispatched jobs are
+	// skipped, and no partially written output is reported as success.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var progressFn sweep.ProgressFunc
 	if *progress {
 		progressFn = func(done, total int, job sweep.Job) {
@@ -54,6 +64,7 @@ func main() {
 		SkipStaticIdeal: *skipStatic,
 		Parallelism:     *parallel,
 		Engine:          eng,
+		Context:         ctx,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
@@ -79,6 +90,10 @@ func main() {
 		err = report.Run(*exp, w, opts)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; partial sweep discarded")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -93,4 +108,12 @@ func main() {
 	stats := eng.Stats()
 	fmt.Fprintf(os.Stderr, "experiments: %s completed in %v (%d simulations, %d cache hits)\n",
 		*exp, time.Since(start).Round(time.Millisecond), stats.Misses, stats.Hits)
+	if *progress {
+		hitRate := 0.0
+		if stats.Jobs > 0 {
+			hitRate = 100 * float64(stats.Hits) / float64(stats.Jobs)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: sweep cache: %d jobs, %d hits, %d misses (%.1f%% hit rate)\n",
+			stats.Jobs, stats.Hits, stats.Misses, hitRate)
+	}
 }

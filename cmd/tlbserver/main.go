@@ -1,0 +1,101 @@
+// Command tlbserver serves the simulator over HTTP: synchronous
+// simulations on POST /v1/simulate, asynchronous sweep jobs on
+// POST /v1/sweeps (202 + job ID, status by polling or SSE), with a
+// bounded worker pool, a server-lifetime result cache, Prometheus-text
+// /metrics, health/readiness probes and graceful drain on SIGTERM.
+//
+// Examples:
+//
+//	tlbserver -addr :8080 -workers 2 -queue 4
+//	curl -s localhost:8080/v1/simulate -d '{"scheme":"anchor","workload":"gups","scenario":"medium"}'
+//	curl -s localhost:8080/v1/sweeps -d '{"schemes":["base","anchor"],"workloads":["gups"],"scenarios":["demand","medium"]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridtlb/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "sweep worker pool size")
+		queueDepth   = flag.Int("queue", 8, "bounded sweep queue depth (full queue answers 429)")
+		sweepPar     = flag.Int("sweep-parallel", 0, "concurrent simulations per sweep (0: GOMAXPROCS)")
+		simTimeout   = flag.Duration("request-timeout", 60*time.Second, "synchronous simulate budget")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job budget")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget before in-flight jobs are canceled")
+		maxAccesses  = flag.Uint64("max-accesses", 5_000_000, "per-simulation accesses cap")
+		maxJobs      = flag.Int("max-jobs", 4096, "per-sweep expanded grid cap")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		SweepParallelism: *sweepPar,
+		SimulateTimeout:  *simTimeout,
+		JobTimeout:       *jobTimeout,
+		MaxAccesses:      *maxAccesses,
+		MaxSweepJobs:     *maxJobs,
+		Logger:           log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("tlbserver listening", "addr", *addr, "workers", *workers, "queue", *queueDepth)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "tlbserver:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip readiness first so load balancers stop
+	// routing here and new sweeps get 503, then let queued and running
+	// sweep jobs complete (bounded by -drain-timeout) while the
+	// listener stays up — clients can still poll their results during
+	// the drain. Only then close the HTTP side.
+	log.Info("signal received; draining", "timeout", *drainTimeout)
+	srv.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(shutdownCtx)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "err", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "tlbserver: drain:", drainErr)
+		os.Exit(1)
+	}
+	log.Info("tlbserver exited cleanly")
+}

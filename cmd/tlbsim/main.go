@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"hybridtlb"
 )
@@ -47,14 +51,23 @@ func main() {
 		TracePath:           *tracePath,
 	}
 
+	// Ctrl-C cancels cleanly at simulation boundaries (between the
+	// static-ideal distance probes) instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var res hybridtlb.SimulationResult
 	var err error
 	if *static {
-		res, err = hybridtlb.SimulateStaticIdeal(cfg)
+		res, err = hybridtlb.SimulateStaticIdealContext(ctx, cfg)
 	} else {
-		res, err = hybridtlb.Simulate(cfg)
+		res, err = hybridtlb.SimulateContext(ctx, cfg)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tlbsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "tlbsim:", err)
 		os.Exit(1)
 	}

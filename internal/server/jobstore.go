@@ -1,0 +1,303 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridtlb"
+)
+
+// JobState is a sweep job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: executing on the worker pool.
+	JobRunning JobState = "running"
+	// JobDone: finished with every cell succeeding.
+	JobDone JobState = "done"
+	// JobFailed: finished with at least one cell failing (per-cell
+	// errors are in the results).
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client or by shutdown before
+	// completion.
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// job is one queued sweep: its expanded grid, its progress, and — once a
+// worker finishes it — its results. All mutable fields are guarded by
+// mu; subscribers get a non-blocking wakeup on every change.
+type job struct {
+	id      string
+	configs []hybridtlb.SimulationConfig
+	echoes  []SimulateRequest
+
+	// canceled flips before cancel may exist (a DELETE can land while
+	// the job is still queued); workers check it before running.
+	canceled atomic.Bool
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     int
+	results  []hybridtlb.SweepResult
+	errMsg   string
+	cancel   context.CancelFunc
+	subs     map[int]chan struct{}
+	nextSub  int
+}
+
+func newJob(cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest) *job {
+	return &job{
+		id:      "swp_" + randomID(),
+		configs: cfgs,
+		echoes:  echoes,
+		state:   JobQueued,
+		created: time.Now().UTC(),
+		subs:    make(map[int]chan struct{}),
+	}
+}
+
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// start transitions queued → running and installs the cancel hook. It
+// returns false when the job was canceled while queued, in which case
+// the worker must not run it.
+func (j *job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled.Load() {
+		j.state = JobCanceled
+		j.finished = time.Now().UTC()
+		j.notifyLocked()
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	j.notifyLocked()
+	return true
+}
+
+// requestCancel marks the job canceled and interrupts it if running. It
+// reports whether there was anything left to cancel.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.canceled.Store(true)
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// setProgress records completed cells and wakes subscribers.
+func (j *job) setProgress(done int) {
+	j.mu.Lock()
+	j.done = done
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// finish records the outcome and wakes subscribers one last time. A
+// context.Canceled error means someone deliberately stopped the job —
+// a DELETE or a drain-deadline cancellation — so it lands in
+// JobCanceled; a deadline expiry is a failure.
+func (j *job) finish(results []hybridtlb.SweepResult, err error) JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = results
+	j.finished = time.Now().UTC()
+	switch {
+	case j.canceled.Load() || errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		if err != nil {
+			j.errMsg = err.Error()
+		}
+	case err != nil:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.done = len(j.configs)
+	default:
+		j.state = JobDone
+		j.done = len(j.configs)
+	}
+	j.notifyLocked()
+	return j.state
+}
+
+// subscribe registers a wakeup channel, signaled (without blocking) on
+// every state or progress change.
+func (j *job) subscribe() (int, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan struct{}, 1)
+	j.subs[id] = ch
+	return id, ch
+}
+
+func (j *job) unsubscribe(id int) {
+	j.mu.Lock()
+	delete(j.subs, id)
+	j.mu.Unlock()
+}
+
+func (j *job) notifyLocked() {
+	for _, ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// JobJSON is the wire form of a job: always the identity and progress,
+// plus the per-cell results once the job is terminal (and omitted from
+// list responses, which set them to nil).
+type JobJSON struct {
+	ID       string     `json:"id"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created_at"`
+	Started  *time.Time `json:"started_at,omitempty"`
+	Finished *time.Time `json:"finished_at,omitempty"`
+	Done     int        `json:"done"`
+	Total    int        `json:"total"`
+	Cached   int        `json:"cached,omitempty"`
+	Error    string     `json:"error,omitempty"`
+
+	Results []SweepCellJSON `json:"results,omitempty"`
+}
+
+// snapshot renders the job's current state; withResults attaches the
+// per-cell payload when the job is terminal.
+func (j *job) snapshot(withResults bool) JobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := JobJSON{
+		ID:      j.id,
+		State:   j.state,
+		Created: j.created,
+		Done:    j.done,
+		Total:   len(j.configs),
+		Error:   j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.Finished = &t
+	}
+	for _, r := range j.results {
+		if r.Cached {
+			out.Cached++
+		}
+	}
+	if withResults && j.state.terminal() && j.results != nil {
+		out.Results = make([]SweepCellJSON, len(j.results))
+		for i, r := range j.results {
+			cell := SweepCellJSON{Config: j.echoes[i], Cached: r.Cached}
+			if r.Err != nil {
+				cell.Error = r.Err.Error()
+			} else {
+				cell.Result = toResultJSON(r.SimulationResult)
+			}
+			out.Results[i] = cell
+		}
+	}
+	return out
+}
+
+// progressJSON is the payload of SSE progress events and of the
+// polling endpoint's headline fields.
+type progressJSON struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+}
+
+func (j *job) progress() progressJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return progressJSON{ID: j.id, State: j.state, Done: j.done, Total: len(j.configs)}
+}
+
+// jobStore indexes jobs by ID, preserving submission order for listing.
+// Jobs are kept for the server's lifetime — the store doubles as the
+// result cache clients poll after a 202.
+type jobStore struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+func (s *jobStore) add(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	return j, ok
+}
+
+// list returns submission-ordered summaries (no per-cell results).
+func (s *jobStore) list() []JobJSON {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobJSON, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.get(id); ok {
+			out = append(out, j.snapshot(false))
+		}
+	}
+	return out
+}
+
+// countByState tallies job states for metrics.
+func (s *jobStore) countByState() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[JobState]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is a dependency-free Prometheus-text registry for the
+// server's counters and histograms. Gauges (queue depth, worker
+// utilization, sweep cache traffic) are sampled at scrape time by the
+// handler, so the registry only holds monotonic state.
+type metrics struct {
+	workersBusy atomic.Int64
+	rejected    atomic.Int64
+
+	mu       sync.Mutex
+	requests map[requestKey]int64
+	latency  map[string]*histogram
+	jobs     map[JobState]int64
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[requestKey]int64),
+		latency:  make(map[string]*histogram),
+		jobs:     make(map[JobState]int64),
+	}
+}
+
+// observeRequest records one finished HTTP exchange under its route
+// pattern (bounded cardinality — never the raw path).
+func (m *metrics) observeRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{route, code}]++
+	h, ok := m.latency[route]
+	if !ok {
+		h = newHistogram()
+		m.latency[route] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// observeJob counts a job reaching a terminal state.
+func (m *metrics) observeJob(state JobState) {
+	m.mu.Lock()
+	m.jobs[state]++
+	m.mu.Unlock()
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond status polls to multi-minute sweeps.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+type histogram struct {
+	counts []int64 // one per bucket, cumulative semantics applied at render
+	sum    float64
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// gauges are the instantaneous values sampled at scrape time.
+type gauges struct {
+	queueDepth    int
+	queueCapacity int
+	workers       int
+	workersBusy   int64
+	jobStates     map[JobState]int
+	cacheJobs     int
+	cacheHits     int
+	cacheMisses   int
+	ready         bool
+}
+
+// write renders the registry in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP tlbserver_http_requests_total HTTP requests served, by route pattern and status code.")
+	fmt.Fprintln(w, "# TYPE tlbserver_http_requests_total counter")
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "tlbserver_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_http_request_duration_seconds HTTP request latency, by route pattern.")
+	fmt.Fprintln(w, "# TYPE tlbserver_http_request_duration_seconds histogram")
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := m.latency[r]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "tlbserver_http_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+		}
+		fmt.Fprintf(w, "tlbserver_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, h.count)
+		fmt.Fprintf(w, "tlbserver_http_request_duration_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "tlbserver_http_request_duration_seconds_count{route=%q} %d\n", r, h.count)
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_http_requests_rejected_total Sweep submissions shed with 429 because the queue was full.")
+	fmt.Fprintln(w, "# TYPE tlbserver_http_requests_rejected_total counter")
+	fmt.Fprintf(w, "tlbserver_http_requests_rejected_total %d\n", m.rejected.Load())
+
+	fmt.Fprintln(w, "# HELP tlbserver_jobs_finished_total Sweep jobs reaching a terminal state.")
+	fmt.Fprintln(w, "# TYPE tlbserver_jobs_finished_total counter")
+	for _, st := range []JobState{JobDone, JobFailed, JobCanceled} {
+		fmt.Fprintf(w, "tlbserver_jobs_finished_total{state=%q} %d\n", st, m.jobs[st])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_jobs Current jobs by state.")
+	fmt.Fprintln(w, "# TYPE tlbserver_jobs gauge")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		fmt.Fprintf(w, "tlbserver_jobs{state=%q} %d\n", st, g.jobStates[st])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_queue_depth Sweep jobs waiting in the bounded queue.")
+	fmt.Fprintln(w, "# TYPE tlbserver_queue_depth gauge")
+	fmt.Fprintf(w, "tlbserver_queue_depth %d\n", g.queueDepth)
+
+	fmt.Fprintln(w, "# HELP tlbserver_queue_capacity Size of the bounded queue.")
+	fmt.Fprintln(w, "# TYPE tlbserver_queue_capacity gauge")
+	fmt.Fprintf(w, "tlbserver_queue_capacity %d\n", g.queueCapacity)
+
+	fmt.Fprintln(w, "# HELP tlbserver_workers Size of the sweep worker pool.")
+	fmt.Fprintln(w, "# TYPE tlbserver_workers gauge")
+	fmt.Fprintf(w, "tlbserver_workers %d\n", g.workers)
+
+	fmt.Fprintln(w, "# HELP tlbserver_workers_busy Workers currently executing a sweep.")
+	fmt.Fprintln(w, "# TYPE tlbserver_workers_busy gauge")
+	fmt.Fprintf(w, "tlbserver_workers_busy %d\n", g.workersBusy)
+
+	fmt.Fprintln(w, "# HELP tlbserver_sweep_cells_total Simulation cells submitted to the shared sweeper.")
+	fmt.Fprintln(w, "# TYPE tlbserver_sweep_cells_total counter")
+	fmt.Fprintf(w, "tlbserver_sweep_cells_total %d\n", g.cacheJobs)
+
+	fmt.Fprintln(w, "# HELP tlbserver_sweep_cache_hits_total Cells served from the content-addressed result cache.")
+	fmt.Fprintln(w, "# TYPE tlbserver_sweep_cache_hits_total counter")
+	fmt.Fprintf(w, "tlbserver_sweep_cache_hits_total %d\n", g.cacheHits)
+
+	fmt.Fprintln(w, "# HELP tlbserver_sweep_cache_misses_total Cells that actually simulated.")
+	fmt.Fprintln(w, "# TYPE tlbserver_sweep_cache_misses_total counter")
+	fmt.Fprintf(w, "tlbserver_sweep_cache_misses_total %d\n", g.cacheMisses)
+
+	fmt.Fprintln(w, "# HELP tlbserver_ready Whether the server is accepting work (0 while draining).")
+	fmt.Fprintln(w, "# TYPE tlbserver_ready gauge")
+	ready := 0
+	if g.ready {
+		ready = 1
+	}
+	fmt.Fprintf(w, "tlbserver_ready %d\n", ready)
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull sheds load: the bounded buffer has no room, the client
+// should retry later (the handler maps this to 429 + Retry-After).
+var errQueueFull = errors.New("server: job queue full")
+
+// errQueueClosed rejects submissions after shutdown began (503).
+var errQueueClosed = errors.New("server: job queue draining")
+
+// queue executes jobs on a fixed worker pool fed by a bounded buffer.
+// The buffer is the server's only admission control: when it is full,
+// submit fails immediately instead of queueing unboundedly, and the
+// HTTP layer turns that into backpressure.
+type queue struct {
+	ch  chan *job
+	run func(ctx context.Context, j *job)
+
+	// baseCtx parents every job context; canceling it aborts in-flight
+	// sweeps when a drain deadline expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+func newQueue(workers, depth int, run func(ctx context.Context, j *job)) *queue {
+	q := &queue{
+		ch:  make(chan *job, depth),
+		run: run,
+	}
+	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		q.run(q.baseCtx, j)
+	}
+}
+
+// submit enqueues without blocking; a full buffer or a draining queue
+// fail fast.
+func (q *queue) submit(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth returns the number of jobs waiting in the buffer (excluding
+// jobs already running on workers).
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity returns the buffer size.
+func (q *queue) capacity() int { return cap(q.ch) }
+
+// drain stops intake and waits for every queued and in-flight job to
+// finish. If ctx expires first, in-flight job contexts are canceled and
+// drain still waits for the workers to observe that, then reports the
+// context's error. Safe to call more than once.
+func (q *queue) drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

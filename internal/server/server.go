@@ -1,0 +1,517 @@
+// Package server is the simulation-as-a-service layer: an HTTP API over
+// the public hybridtlb simulation entry points and the internal/sweep
+// engine. Small synchronous runs go through POST /v1/simulate; grids go
+// through POST /v1/sweeps, which enqueues an asynchronous job on a
+// bounded worker pool and immediately returns 202 with a job ID that
+// clients poll (GET /v1/sweeps/{id}) or stream (SSE at
+// /v1/sweeps/{id}/events). Every simulation — sync or async — runs
+// against one server-lifetime Sweeper, so its content-addressed result
+// cache deduplicates repeated cells across requests and clients.
+//
+// Production behaviors are first-class: strict request validation with
+// structured field-level errors, a bounded queue that sheds load with
+// 429 + Retry-After instead of growing without bound, per-request and
+// per-job timeouts, /healthz + /readyz, Prometheus-text /metrics, slog
+// access and job logging, and a graceful drain that finishes in-flight
+// jobs before the process exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hybridtlb"
+)
+
+// Runner executes simulation batches. *hybridtlb.Sweeper implements it;
+// tests substitute controllable fakes.
+type Runner interface {
+	Run(ctx context.Context, cfgs []hybridtlb.SimulationConfig, progress func(done, total int)) ([]hybridtlb.SweepResult, error)
+	Stats() hybridtlb.CacheStats
+}
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers sizes the sweep worker pool (default 2).
+	Workers int
+	// QueueDepth bounds sweeps waiting for a worker; a full queue sheds
+	// load with 429 (default 8).
+	QueueDepth int
+	// SweepParallelism bounds concurrent simulations within one sweep
+	// (default GOMAXPROCS). Total simulation concurrency is
+	// Workers × SweepParallelism plus synchronous simulate requests.
+	SweepParallelism int
+	// SimulateTimeout budgets one synchronous POST /v1/simulate
+	// (default 60s).
+	SimulateTimeout time.Duration
+	// JobTimeout budgets one queued sweep job (default 15m).
+	JobTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 2s).
+	RetryAfter time.Duration
+	// MaxAccesses caps per-simulation measured accesses
+	// (default 5,000,000; negative disables the cap).
+	MaxAccesses uint64
+	// MaxSweepJobs caps one request's expanded grid size
+	// (default 4096; negative disables the cap).
+	MaxSweepJobs int
+	// Logger receives access and job logs (default slog.Default()).
+	Logger *slog.Logger
+	// Runner substitutes the sweep executor (default: a fresh
+	// hybridtlb.Sweeper with SweepParallelism).
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.SweepParallelism <= 0 {
+		c.SweepParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.SimulateTimeout <= 0 {
+		c.SimulateTimeout = 60 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.MaxAccesses == 0 {
+		c.MaxAccesses = 5_000_000
+	}
+	if c.MaxSweepJobs == 0 {
+		c.MaxSweepJobs = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Runner == nil {
+		c.Runner = hybridtlb.NewSweeper(hybridtlb.SweepOptions{Parallelism: c.SweepParallelism})
+	}
+	return c
+}
+
+func (c Config) limits() Limits {
+	lim := Limits{MaxAccesses: c.MaxAccesses, MaxSweepJobs: c.MaxSweepJobs}
+	return lim
+}
+
+// Server is the HTTP subsystem: handlers, the bounded job queue, the
+// job store and the metrics registry. Create with New, mount Handler,
+// and on shutdown call BeginShutdown then Drain.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	runner  Runner
+	store   *jobStore
+	queue   *queue
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// simSem bounds synchronous simulate requests the way the queue
+	// bounds sweeps; a full semaphore is backpressure, not a wait.
+	simSem chan struct{}
+
+	draining atomic.Bool
+	closing  chan struct{} // closed by BeginShutdown; ends SSE streams
+}
+
+// New assembles a server. The worker pool starts immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		runner:  cfg.Runner,
+		store:   newJobStore(),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		simSem:  make(chan struct{}, cfg.Workers),
+		closing: make(chan struct{}),
+	}
+	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, s.runJob)
+
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("POST /v1/sweeps", s.handleCreateSweep)
+	s.route("GET /v1/sweeps", s.handleListSweeps)
+	s.route("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.route("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	s.route("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
+	s.route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginShutdown flips the server to draining: /readyz turns 503 (so load
+// balancers stop routing here), new sweep submissions are refused, and
+// open SSE streams are told to finish. Call it before http.Server.
+// Shutdown so in-flight polls still complete.
+func (s *Server) BeginShutdown() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.closing)
+		s.log.Info("server draining: refusing new jobs")
+	}
+}
+
+// Drain stops queue intake and waits for queued and running jobs to
+// finish; when ctx expires first, running jobs are canceled and Drain
+// returns the context's error after the workers stop. Always preceded
+// by BeginShutdown (Drain calls it defensively).
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginShutdown()
+	err := s.queue.drain(ctx)
+	if err != nil {
+		s.log.Warn("drain deadline expired; in-flight jobs canceled", "err", err)
+	} else {
+		s.log.Info("drain complete: all jobs finished")
+	}
+	return err
+}
+
+// route registers a handler wrapped with panic recovery, metrics and
+// slog access logging, labeled by the route pattern (bounded
+// cardinality).
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("handler panic", "route", pattern, "panic", fmt.Sprint(p))
+				if !sw.wrote {
+					writeError(w, &apiError{Status: http.StatusInternalServerError,
+						Code: codeInternal, Message: "internal error"})
+				}
+			}
+			d := time.Since(start)
+			s.metrics.observeRequest(pattern, sw.status(), d)
+			s.log.Info("http",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", pattern,
+				"code", sw.status(),
+				"bytes", sw.bytes,
+				"dur", d.Round(time.Microsecond),
+				"remote", r.RemoteAddr,
+			)
+		}()
+		h(sw, r)
+	})
+}
+
+// statusWriter captures the response code and size for logs and
+// metrics, forwarding Flush so SSE streaming keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// handleSimulate runs one (or one static-ideal family of) simulation
+// synchronously, bounded by the worker count and the request timeout.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if apiErr := req.validate(s.cfg.limits()); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimulateTimeout)
+	defer cancel()
+
+	// Admission control: at most Workers synchronous simulations at
+	// once; an overloaded server answers 429 instead of piling up
+	// goroutines.
+	select {
+	case s.simSem <- struct{}{}:
+		defer func() { <-s.simSem }()
+	default:
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter.Seconds()))
+		writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
+			Message: "all workers busy; retry later"})
+		return
+	}
+
+	var res hybridtlb.SimulationResult
+	var err error
+	if req.StaticIdeal {
+		res, err = hybridtlb.SimulateStaticIdealContext(ctx, req.toConfig())
+	} else {
+		// Route through the shared sweeper: repeated configs are served
+		// from the server-lifetime result cache.
+		var out []hybridtlb.SweepResult
+		out, err = s.runner.Run(ctx, []hybridtlb.SimulationConfig{req.toConfig()}, nil)
+		if err == nil {
+			res = out[0].SimulationResult
+		}
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, &apiError{Status: http.StatusGatewayTimeout, Code: codeTimeout,
+			Message: fmt.Sprintf("simulation exceeded the %v request budget", s.cfg.SimulateTimeout)})
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for the access log only.
+		writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: codeTimeout,
+			Message: "request canceled"})
+		return
+	case err != nil:
+		writeError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal,
+			Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultJSON(res))
+}
+
+// handleCreateSweep validates and expands the grid, then enqueues it;
+// the response is 202 + job ID, 429 when the queue is full, 503 when
+// draining.
+func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: codeShuttingDown,
+			Message: "server is draining; not accepting new sweeps"})
+		return
+	}
+	var req SweepRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	cfgs, echoes, apiErr := req.expand(s.cfg.limits())
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	j := newJob(cfgs, echoes)
+	switch err := s.queue.submit(j); {
+	case errors.Is(err, errQueueFull):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter.Seconds()))
+		writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
+			Message: fmt.Sprintf("sweep queue full (%d waiting); retry later", s.queue.capacity())})
+		return
+	case errors.Is(err, errQueueClosed):
+		writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: codeShuttingDown,
+			Message: "server is draining; not accepting new sweeps"})
+		return
+	case err != nil:
+		writeError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()})
+		return
+	}
+	s.store.add(j)
+	s.log.Info("sweep accepted", "job", j.id, "cells", len(cfgs), "queued", s.queue.depth())
+	writeJSON(w, http.StatusAccepted, struct {
+		ID        string `json:"id"`
+		Total     int    `json:"total"`
+		StatusURL string `json:"status_url"`
+		EventsURL string `json:"events_url"`
+	}{j.id, len(cfgs), "/v1/sweeps/" + j.id, "/v1/sweeps/" + j.id + "/events"})
+}
+
+// runJob executes one queued sweep on a worker goroutine.
+func (s *Server) runJob(base context.Context, j *job) {
+	ctx, cancel := context.WithTimeout(base, s.cfg.JobTimeout)
+	defer cancel()
+	if !j.start(cancel) {
+		s.metrics.observeJob(JobCanceled)
+		s.log.Info("sweep canceled before start", "job", j.id)
+		return
+	}
+	s.metrics.workersBusy.Add(1)
+	defer s.metrics.workersBusy.Add(-1)
+
+	start := time.Now()
+	results, err := s.runner.Run(ctx, j.configs, func(done, _ int) {
+		j.setProgress(done)
+	})
+	state := j.finish(results, err)
+	s.metrics.observeJob(state)
+
+	stats := s.runner.Stats()
+	s.log.Info("sweep finished",
+		"job", j.id,
+		"state", string(state),
+		"cells", len(j.configs),
+		"dur", time.Since(start).Round(time.Millisecond),
+		"cache_hits", stats.Hits,
+		"cache_misses", stats.Misses,
+	)
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Sweeps []JobJSON `json:"sweeps"`
+	}{s.store.list()})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: codeNotFound,
+			Message: fmt.Sprintf("no sweep %q", id)})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot(true))
+}
+
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, &apiError{Status: http.StatusConflict, Code: codeConflict,
+			Message: fmt.Sprintf("sweep %s already %s", j.id, j.snapshot(false).State)})
+		return
+	}
+	s.log.Info("sweep cancel requested", "job", j.id)
+	writeJSON(w, http.StatusAccepted, j.progress())
+}
+
+// handleSweepEvents streams job progress as Server-Sent Events: a
+// "progress" event per update and a final "done" event carrying the
+// terminal snapshot (without the result payload — fetch that from the
+// status URL). The stream ends when the job finishes, the client
+// disconnects, or the server drains.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal,
+			Message: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	subID, wake := j.subscribe()
+	defer j.unsubscribe(subID)
+
+	for {
+		p := j.progress()
+		if p.State.terminal() {
+			writeSSE(w, "done", j.snapshot(false))
+			flusher.Flush()
+			return
+		}
+		writeSSE(w, "progress", p)
+		flusher.Flush()
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			writeSSE(w, "closing", p)
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	fmt.Fprintf(w, "event: %s\n", event)
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"encoding failed"}`)
+	}
+	fmt.Fprintf(w, "data: %s\n\n", data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	stats := s.runner.Stats()
+	g := gauges{
+		queueDepth:    s.queue.depth(),
+		queueCapacity: s.queue.capacity(),
+		workers:       s.cfg.Workers,
+		workersBusy:   s.metrics.workersBusy.Load(),
+		jobStates:     s.store.countByState(),
+		cacheJobs:     stats.Jobs,
+		cacheHits:     stats.Hits,
+		cacheMisses:   stats.Misses,
+		ready:         !s.draining.Load(),
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, g)
+}

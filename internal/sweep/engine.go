@@ -136,6 +136,14 @@ type task struct {
 // jobs otherwise. Per-job outcomes — including per-job errors — are
 // always available in the result slice.
 func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	return e.RunWithProgress(ctx, jobs, e.progress)
+}
+
+// RunWithProgress is Run with a per-call progress observer replacing the
+// engine-wide one — the hook a server needs when one long-lived engine
+// executes many independently tracked sweeps. A nil progress disables
+// reporting for this call only.
+func (e *Engine) RunWithProgress(ctx context.Context, jobs []Job, progress ProgressFunc) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -150,14 +158,14 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	var progressMu sync.Mutex
 	var done int
 	report := func(positions ...int) {
-		if e.progress == nil {
+		if progress == nil {
 			return
 		}
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		for _, i := range positions {
 			done++
-			e.progress(done, total, results[i].Job)
+			progress(done, total, results[i].Job)
 		}
 	}
 

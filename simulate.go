@@ -1,6 +1,7 @@
 package hybridtlb
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -8,6 +9,7 @@ import (
 	"hybridtlb/internal/mapping"
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/sim"
+	"hybridtlb/internal/sweep"
 	"hybridtlb/internal/trace"
 	"hybridtlb/internal/workload"
 )
@@ -141,6 +143,25 @@ func (cfg SimulationConfig) toSimConfig() (sim.Config, mmu.Config, error) {
 	}, hw, nil
 }
 
+// SimulateContext is Simulate with cancellation support: it checks ctx
+// before starting and again before reporting, so a cancelled caller (a
+// Ctrl-C'd CLI, a disconnected HTTP request) never receives a result it
+// no longer wants. A single simulation is not interruptible mid-run; the
+// context is observed at simulation boundaries.
+func SimulateContext(ctx context.Context, cfg SimulationConfig) (SimulationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return SimulationResult{}, err
+	}
+	res, err := Simulate(cfg)
+	if cerr := ctx.Err(); cerr != nil {
+		return SimulationResult{}, cerr
+	}
+	return res, err
+}
+
 // Simulate runs one benchmark over one mapping scenario through one
 // translation scheme and reports the paper's metrics.
 func Simulate(cfg SimulationConfig) (SimulationResult, error) {
@@ -199,6 +220,39 @@ func SimulateStaticIdeal(cfg SimulationConfig) (SimulationResult, error) {
 		return SimulationResult{}, err
 	}
 	return toSimulationResult(best, hw), nil
+}
+
+// SimulateStaticIdealContext is SimulateStaticIdeal with cancellation
+// support: the per-distance probes run through a sweep engine, so
+// cancelling ctx stops dispatching probes not yet started and the
+// probes themselves execute concurrently (bounded by GOMAXPROCS).
+// Results are identical to the serial SimulateStaticIdeal.
+func SimulateStaticIdealContext(ctx context.Context, cfg SimulationConfig) (SimulationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Scheme = SchemeAnchor
+	cfg.FixedAnchorDistance = 0
+	simCfg, hw, err := cfg.toSimConfig()
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	// Match the serial path, which builds its probe config from scratch:
+	// the dynamic-selection knobs play no role under a fixed distance.
+	simCfg.MultiRegionAnchors = false
+	probes, err := sim.StaticIdealConfigs(simCfg)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	jobs := make([]sweep.Job, len(probes))
+	for i, pc := range probes {
+		jobs[i] = sweep.Job{Config: pc}
+	}
+	results, err := sweep.New(sweep.Options{}).Run(ctx, jobs)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return toSimulationResult(sim.BestStaticIdeal(sweep.Results(results)), hw), nil
 }
 
 func toSimulationResult(res sim.Result, hw mmu.Config) SimulationResult {

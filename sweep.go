@@ -19,6 +19,32 @@ type SweepOptions struct {
 	// DisableCache turns off result memoization; by default identical
 	// configs in the sweep are simulated once and shared.
 	DisableCache bool
+	// Stats, when non-nil, receives the sweep's cache statistics after
+	// the run: how many jobs were submitted, how many were served from
+	// the result cache and how many actually simulated.
+	Stats *CacheStats
+}
+
+// CacheStats reports a sweep's result-cache traffic (the engine's
+// cumulative counters for a Sweeper, one call's counters for
+// SimulateSweep).
+type CacheStats struct {
+	// Jobs is the total number of jobs submitted.
+	Jobs int
+	// Hits counts jobs served without a new simulation: from the cache
+	// of an earlier run or coalesced with an identical job in the same
+	// sweep.
+	Hits int
+	// Misses counts jobs that actually simulated.
+	Misses int
+}
+
+// HitRate returns the fraction of jobs served from the cache in [0,1].
+func (s CacheStats) HitRate() float64 {
+	if s.Jobs == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Jobs)
 }
 
 // SweepResult pairs one sweep config's metrics with its per-job outcome.
@@ -47,7 +73,50 @@ type SweepResult struct {
 //
 // TracePath replay is not supported in sweeps; such configs fail
 // per-job.
+//
+// The result cache lives for this one call; a service running many
+// sweeps should share one Sweeper instead.
 func SimulateSweep(ctx context.Context, cfgs []SimulationConfig, opts SweepOptions) ([]SweepResult, error) {
+	sw := NewSweeper(opts)
+	results, err := sw.Run(ctx, cfgs, opts.Progress)
+	if opts.Stats != nil {
+		*opts.Stats = sw.Stats()
+	}
+	return results, err
+}
+
+// Sweeper is a long-lived sweep runner: a bounded worker pool plus a
+// content-addressed result cache that persists across Run calls, so a
+// config repeated by later sweeps — a baseline column shared by many
+// requests, a re-submitted grid — is simulated once per Sweeper.
+// A Sweeper is safe for concurrent use.
+type Sweeper struct {
+	eng *sweep.Engine
+}
+
+// NewSweeper creates a Sweeper. The options' Parallelism and
+// DisableCache apply to every Run; Progress and Stats are ignored here
+// (progress is per-Run, stats come from Stats).
+func NewSweeper(opts SweepOptions) *Sweeper {
+	return &Sweeper{eng: sweep.New(sweep.Options{
+		Parallelism:  opts.Parallelism,
+		DisableCache: opts.DisableCache,
+	})}
+}
+
+// Stats returns the Sweeper's cumulative cache statistics across every
+// Run so far.
+func (s *Sweeper) Stats() CacheStats {
+	st := s.eng.Stats()
+	return CacheStats{Jobs: st.Jobs, Hits: st.Hits, Misses: st.Misses}
+}
+
+// Run executes one batch of configs with SimulateSweep semantics —
+// results in input order, per-job errors, cancellation at job
+// boundaries — against the Sweeper's shared pool and cache. The
+// progress callback, when non-nil, observes completion for this call
+// only.
+func (s *Sweeper) Run(ctx context.Context, cfgs []SimulationConfig, progress func(done, total int)) ([]SweepResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -73,21 +142,16 @@ func SimulateSweep(ctx context.Context, cfgs []SimulationConfig, opts SweepOptio
 		hws = append(hws, hw)
 	}
 
-	var progress sweep.ProgressFunc
-	if opts.Progress != nil {
+	var progressFn sweep.ProgressFunc
+	if progress != nil {
 		// The engine's total counts only the valid jobs; report against
 		// the caller's config count so done reaches len(cfgs).
 		skipped := len(cfgs) - len(jobs)
-		progress = func(done, total int, _ sweep.Job) {
-			opts.Progress(skipped+done, skipped+total)
+		progressFn = func(done, total int, _ sweep.Job) {
+			progress(skipped+done, skipped+total)
 		}
 	}
-	eng := sweep.New(sweep.Options{
-		Parallelism:  opts.Parallelism,
-		Progress:     progress,
-		DisableCache: opts.DisableCache,
-	})
-	swept, _ := eng.Run(ctx, jobs)
+	swept, _ := s.eng.RunWithProgress(ctx, jobs, progressFn)
 	for j, r := range swept {
 		i := positions[j]
 		if r.Err != nil {
