@@ -2,12 +2,23 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench experiments serve
+.PHONY: check vet build test race bench experiments serve lint tools
 
-check: vet build race
+check: vet build lint race
 
 vet:
 	$(GO) vet ./...
+
+# tools builds the project's dev tooling into bin/.
+tools:
+	@mkdir -p bin
+	$(GO) build -o bin/tlbvet ./cmd/tlbvet
+
+# lint runs tlbvet, the project's custom go/analysis passes
+# (determinism, ctxflow, locksafe, closecheck, noprint — see DESIGN.md
+# "Project invariants & static analysis").
+lint: tools
+	$(GO) vet -vettool=bin/tlbvet ./...
 
 build:
 	$(GO) build ./...

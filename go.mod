@@ -1,3 +1,8 @@
 module hybridtlb
 
 go 1.22
+
+// x/tools is used only by internal/lint and cmd/tlbvet (static analysis);
+// the main library and server remain stdlib-only. The dependency is
+// vendored (see vendor/) so builds never need the network.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// CloseCheck flags statements that call Close() and drop the error.
+// For anything buffered (files opened for writing, gzip writers, HTTP
+// response bodies mid-protocol) the write error often only surfaces at
+// Close; swallowing it means silently truncated eval output. Deferred
+// closes are exempt: `defer f.Close()` on a read-only handle is the
+// idiom, and a deferred close whose error matters should already be
+// wrapped in a closure that records it.
+var CloseCheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "flag unchecked Close() return values\n\n" +
+		"`f.Close()` as a bare statement discards an error that, for writers,\n" +
+		"is the only notification that buffered data never reached disk. Check\n" +
+		"it (`if err := f.Close(); err != nil {...}`) or defer it when the\n" +
+		"error genuinely cannot matter.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.ExprStmt)(nil)}, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		call, ok := n.(*ast.ExprStmt).X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return
+		}
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok {
+			return
+		}
+		// Only Close() error — a Close with no or odd returns has
+		// nothing to check.
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+			return
+		}
+		report(pass, call.Pos(),
+			"%s.Close() error is discarded; for writers this hides data loss — check it or defer it",
+			types.ExprString(sel.X))
+	})
+	return nil, nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"hybridtlb/internal/lint"
+	"hybridtlb/internal/lint/linttest"
+)
+
+// Each analyzer gets at least one fixture demonstrating caught
+// violations and one demonstrating a clean pass (ISSUE 3 acceptance).
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "internal/sim")
+}
+
+// TestDeterminismSortedReportIdiom is the clean pass: the
+// collect-and-sort pattern used by internal/report must not be flagged.
+func TestDeterminismSortedReportIdiom(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "internal/report")
+}
+
+// TestDeterminismGatesPackages proves non-simulation packages are out
+// of scope even when they contain would-be violations.
+func TestDeterminismGatesPackages(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "plain")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "ctxflow")
+}
+
+func TestCtxFlowMainExempt(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "ctxmain")
+}
+
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, lint.LockSafe, "locksafe")
+}
+
+func TestCloseCheck(t *testing.T) {
+	linttest.Run(t, lint.CloseCheck, "closecheck")
+}
+
+func TestNoPrint(t *testing.T) {
+	linttest.Run(t, lint.NoPrint, "noprint")
+}
+
+func TestNoPrintMainExempt(t *testing.T) {
+	linttest.Run(t, lint.NoPrint, "noprintmain")
+}
+
+// TestAll pins the analyzer roster: tlbvet ships at least the five
+// passes the project invariants document, with unique names and
+// non-empty docs (unitchecker rejects analyzers without them).
+func TestAll(t *testing.T) {
+	all := lint.All()
+	if len(all) < 5 {
+		t.Fatalf("expected at least 5 analyzers, got %d", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing name, doc, or run function", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"determinism", "ctxflow", "locksafe", "closecheck", "noprint"} {
+		if !seen[want] {
+			t.Errorf("analyzer %q missing from lint.All()", want)
+		}
+	}
+	// Doc first lines double as `tlbvet help` output; keep them tight.
+	for _, a := range all {
+		if first := strings.SplitN(a.Doc, "\n", 2)[0]; len(first) > 100 {
+			t.Errorf("analyzer %q first doc line is %d chars; keep it under 100", a.Name, len(first))
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package linttest is a self-contained analysistest replacement for
+// tlbvet's analyzers. The upstream analysistest depends on
+// go/packages, which (unlike the go/analysis core) is not part of the
+// Go distribution's vendored x/tools subset this repo builds against —
+// so this harness loads fixture packages with go/parser + go/types
+// directly and needs nothing outside the standard library plus the
+// vendored analysis core.
+//
+// Fixtures live under testdata/src/<pkgpath>, one directory per
+// package; <pkgpath> doubles as the type-checker's import path, so a
+// fixture under testdata/src/internal/sim exercises package gating
+// exactly like the real internal/sim. Expected diagnostics are
+// declared in the fixture source:
+//
+//	f.Close() // want "error is discarded"
+//
+// Every `// want "substring"` on a line must be matched by a
+// diagnostic on that line (substring match against the message), and
+// every diagnostic must be matched by a want; anything else fails the
+// test.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// stdImporter typechecks stdlib dependencies from $GOROOT/src. It is
+// shared across tests: the source importer caches aggressively, and
+// fixture packages only import a handful of stdlib packages.
+var (
+	importerOnce sync.Once
+	stdImporter  types.Importer
+)
+
+func sharedImporter() types.Importer {
+	importerOnce.Do(func() {
+		stdImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return stdImporter
+}
+
+// Run loads testdata/src/<pkgpath>, runs a (and its Requires chain) on
+// it, and checks the diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files := parseFixture(t, fset, pkgpath)
+	pkg, info := typecheck(t, fset, files, pkgpath)
+	diags := runAnalyzer(t, a, fset, files, pkg, info)
+	compare(t, fset, files, diags)
+}
+
+func parseFixture(t *testing.T, fset *token.FileSet, pkgpath string) []*ast.File {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no .go files in fixture %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+func typecheck(t *testing.T, fset *token.FileSet, files []*ast.File, pkgpath string) (*types.Package, *types.Info) {
+	t.Helper()
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: sharedImporter()}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", pkgpath, err)
+	}
+	return pkg, info
+}
+
+// runAnalyzer executes a's Requires graph depth-first, then a itself,
+// recording only a's diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	t.Helper()
+
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+
+	var run func(an *analysis.Analyzer, record bool)
+	run = func(an *analysis.Analyzer, record bool) {
+		if _, done := results[an]; done {
+			return
+		}
+		for _, req := range an.Requires {
+			run(req, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if record {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", an.Name, err)
+		}
+		results[an] = res
+	}
+	run(a, true)
+	return diags
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	wants := make(map[lineKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					wants[k] = append(wants[k], s)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{filepath.Base(pos.Filename), pos.Line}
+		if i := matchWant(wants[k], d.Message); i >= 0 {
+			wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for k, rest := range wants {
+		for _, w := range rest {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w)
+		}
+	}
+}
+
+func matchWant(wants []string, msg string) int {
+	for i, w := range wants {
+		if w != "" && strings.Contains(msg, w) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// LockSafe guards internal/server's locking discipline (and everyone
+// else's): no blocking operation — channel send/receive, blocking
+// select, time.Sleep, WaitGroup.Wait, subprocess or HTTP round-trips —
+// while a sync.Mutex/RWMutex is held, and no methods or parameters
+// that take a lock-bearing type by value.
+var LockSafe = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flag blocking calls while a sync mutex is held, and locks passed by value\n\n" +
+		"A send or sleep under a held mutex stalls every other goroutine\n" +
+		"contending for it — in a server, one slow subscriber freezes the whole\n" +
+		"jobstore. Non-blocking sends (select with default) are fine. Value\n" +
+		"receivers on mutex-bearing types copy the lock, so locking protects\n" +
+		"nothing. The pass is intra-procedural and tracks Lock/Unlock pairs\n" +
+		"linearly; deferred Unlock means the lock is held to the end of the\n" +
+		"function.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockSafe,
+}
+
+func runLockSafe(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkLockByValue(pass, n)
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body != nil {
+			walkLocked(pass, body.List, map[string]bool{})
+		}
+	})
+	return nil, nil
+}
+
+// checkLockByValue flags value receivers and value parameters whose
+// type contains a sync.Mutex or sync.RWMutex.
+func checkLockByValue(pass *analysis.Pass, fd *ast.FuncDecl) {
+	flag := func(fl *ast.Field, kind string) {
+		t := pass.TypesInfo.TypeOf(fl.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if lock := containsLock(t, 0); lock != "" {
+			report(pass, fl.Pos(), "%s of %s passes %s (which contains a %s) by value, copying the lock; use a pointer",
+				kind, fd.Name.Name, types.TypeString(t, types.RelativeTo(pass.Pkg)), lock)
+		}
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			flag(fl, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			flag(fl, "parameter")
+		}
+	}
+}
+
+// containsLock reports the sync lock type embedded (possibly through
+// nested structs) in t, or "" if none.
+func containsLock(t types.Type, depth int) string {
+	if depth > 4 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if lock := containsLock(st.Field(i).Type(), depth+1); lock != "" {
+			return lock
+		}
+	}
+	return ""
+}
+
+// walkLocked scans a statement list in order, tracking which mutexes
+// are held (keyed by the receiver expression's source form). Branch
+// bodies get a copy of the held set; a block's statements share it, so
+// Lock() in statement i guards statements i+1..n.
+func walkLocked(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		walkStmtLocked(pass, s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func walkStmtLocked(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, op := lockOp(pass, s.X); key != "" {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		scanBlocking(pass, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// body — exactly what the linear scan already assumes — and
+		// the deferred call itself runs after the body, so there is
+		// nothing else to do here. Other deferred calls run at return
+		// time; skip their interiors.
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently, not under this lock
+		// (it is analyzed on its own when the inspector reaches the
+		// FuncLit).
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			report(pass, s.Pos(), "channel send while %s is held blocks every goroutine contending for the lock; send outside the critical section or use a non-blocking select", heldName(held))
+		}
+		scanBlocking(pass, s.Value, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			report(pass, s.Pos(), "blocking select while %s is held; add a default case or move it outside the critical section", heldName(held))
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				walkLocked(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			scanBlocking(pass, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			scanBlocking(pass, e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmtLocked(pass, s.Init, held)
+		}
+		scanBlocking(pass, s.Cond, held)
+		walkLocked(pass, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			walkStmtLocked(pass, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		walkLocked(pass, s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		walkLocked(pass, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				walkLocked(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				walkLocked(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		walkLocked(pass, s.List, held)
+	case *ast.LabeledStmt:
+		walkStmtLocked(pass, s.Stmt, held)
+	}
+}
+
+// lockOp recognizes mu.Lock()/mu.Unlock()/mu.RLock()/mu.RUnlock()
+// calls on sync mutexes (including embedded ones) and returns the
+// receiver's source form plus the operation name.
+func lockOp(pass *analysis.Pass, e ast.Expr) (key, op string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// scanBlocking looks inside an expression for operations that can
+// block: channel receives and a small set of notoriously blocking
+// calls. Function literals are skipped (they execute elsewhere).
+func scanBlocking(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				report(pass, n.Pos(), "channel receive while %s is held; receive outside the critical section", heldName(held))
+			}
+		case *ast.CallExpr:
+			if name := blockingCallName(pass, n); name != "" {
+				report(pass, n.Pos(), "%s while %s is held stalls all lock contenders; call it outside the critical section", name, heldName(held))
+			}
+		}
+		return true
+	})
+}
+
+// blockingCalls maps full function names to their display form. These
+// calls have unbounded latency; doing them under a lock turns one slow
+// operation into a server-wide stall.
+var blockingCalls = map[string]string{
+	"time.Sleep":                    "time.Sleep",
+	"(*sync.WaitGroup).Wait":        "WaitGroup.Wait",
+	"(*os/exec.Cmd).Run":            "exec.Cmd.Run",
+	"(*os/exec.Cmd).Wait":           "exec.Cmd.Wait",
+	"(*os/exec.Cmd).Output":         "exec.Cmd.Output",
+	"(*os/exec.Cmd).CombinedOutput": "exec.Cmd.CombinedOutput",
+	"(*net/http.Client).Do":         "http.Client.Do",
+	"net/http.Get":                  "http.Get",
+	"net/http.Post":                 "http.Post",
+}
+
+func blockingCallName(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return ""
+	}
+	return blockingCalls[fn.FullName()]
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func heldName(held map[string]bool) string {
+	// Deterministic pick: smallest key. (The lint package practices
+	// what it preaches about map iteration.)
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// NoPrint forbids writing to stdout from library packages. The eval
+// pipeline diffs golden output byte-for-byte, and the server logs
+// structured records via log/slog — a stray fmt.Println in a hot path
+// corrupts both. Library code returns values, writes to an injected
+// io.Writer, or logs through log/slog; only package main owns stdout.
+var NoPrint = &analysis.Analyzer{
+	Name: "noprint",
+	Doc: "forbid fmt.Print*/print/println in library packages\n\n" +
+		"Direct stdout writes from a library bypass the injected io.Writer\n" +
+		"plumbing that keeps golden files reproducible, and interleave rawly\n" +
+		"with slog's structured output in the server. Package main and test\n" +
+		"files are exempt.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNoPrint,
+}
+
+func runNoPrint(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		call := n.(*ast.CallExpr)
+		switch fn := typeutil.Callee(pass.TypesInfo, call).(type) {
+		case *types.Func:
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Print", "Printf", "Println":
+					report(pass, call.Pos(),
+						"fmt.%s writes to stdout from a library package; return the value, write to an injected io.Writer, or use log/slog",
+						fn.Name())
+				}
+			}
+		case *types.Builtin:
+			if fn.Name() == "print" || fn.Name() == "println" {
+				report(pass, call.Pos(),
+					"builtin %s writes to stderr from a library package and is not part of the supported output surface; use log/slog",
+					fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}

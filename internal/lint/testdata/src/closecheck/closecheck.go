@@ -1,0 +1,44 @@
+// Fixture for the closecheck analyzer.
+package closecheck
+
+import (
+	"io"
+	"os"
+)
+
+func unchecked(f *os.File) {
+	f.Close() // want "error is discarded"
+}
+
+func deferred(f *os.File) int {
+	defer f.Close() // deferred close is the read-path idiom; exempt
+	return 0
+}
+
+func returned(f *os.File) error {
+	return f.Close()
+}
+
+func checked(f *os.File) {
+	if err := f.Close(); err != nil {
+		_ = err
+	}
+}
+
+func closerIface(c io.Closer) {
+	c.Close() // want "error is discarded"
+}
+
+type noErrCloser struct{}
+
+func (noErrCloser) Close() {}
+
+func closeNoError(c noErrCloser) {
+	c.Close() // returns nothing: nothing to check
+}
+
+// suppressedClose documents a reviewed exception.
+func suppressedClose(f *os.File) {
+	// tlbvet:ignore closecheck fixture exercises the escape hatch
+	f.Close()
+}

@@ -1,0 +1,55 @@
+// Fixture for the ctxflow analyzer (library package: not main, not a
+// test file).
+package ctxflow
+
+import "context"
+
+type store struct{}
+
+func (s *store) fetch(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}
+
+func dropsContext(ctx context.Context, s *store) string {
+	return s.fetch(context.Background(), "k") // want "already receives a context.Context"
+}
+
+func todoInLibrary() context.Context {
+	return context.TODO() // want "unfinished context plumbing"
+}
+
+func todoWithParam(ctx context.Context, s *store) string {
+	return s.fetch(context.TODO(), "k") // want "unfinished context plumbing"
+}
+
+func detached() context.Context {
+	return context.Background() // want "detaches this work"
+}
+
+// normalized is the sanctioned nil-tolerant API idiom: assigning
+// Background back onto the function's own parameter.
+func normalized(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+func litPropagates(ctx context.Context, s *store) func() string {
+	return func() string {
+		return s.fetch(ctx, "k")
+	}
+}
+
+func litDetaches(s *store) func() string {
+	return func() string {
+		return s.fetch(context.Background(), "k") // want "detaches this work"
+	}
+}
+
+// suppressedDetach documents a reviewed detached context.
+func suppressedDetach() context.Context {
+	// tlbvet:ignore ctxflow fixture exercises the escape hatch
+	return context.Background()
+}

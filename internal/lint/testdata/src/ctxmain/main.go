@@ -1,0 +1,12 @@
+// Clean fixture: package main is where root contexts are born; ctxflow
+// must report nothing.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+	_ = context.TODO()
+}

@@ -1,0 +1,36 @@
+// Clean fixture: mirrors internal/report's sortedKeys idiom — map
+// iteration feeding output is fine once the keys are collected and
+// sorted. The determinism analyzer must stay silent on this package.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeTable(w io.Writer, cells map[string]float64) {
+	for _, k := range sortedKeys(cells) {
+		fmt.Fprintf(w, "%s %.3f\n", k, cells[k])
+	}
+}
+
+func writeSortedInline(w io.Writer, cells map[string]float64) {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%.3f\n", k, cells[k])
+	}
+}

@@ -1,0 +1,99 @@
+// Fixture for the determinism analyzer: the directory path contains
+// "internal/sim", so the package is gated as simulation code.
+package sim
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func globalRNG() int {
+	return rand.Intn(6) // want "uses the global RNG"
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "uses the global RNG"
+}
+
+func entropy(b []byte) {
+	_, _ = crand.Read(b) // want "crypto/rand"
+}
+
+// seeded is the sanctioned pattern: an explicit seed, a private generator.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func printOrder(m map[string]int) {
+	for k := range m { // want "map iteration order is random"
+		fmt.Println(k)
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sendOrder(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+func concatOrder(m map[string]int) string {
+	s := ""
+	for k := range m { // want "string concatenation"
+		s += k
+	}
+	return s
+}
+
+// appendSorted is the collect-and-sort idiom; the append is absolved by
+// the later sort.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// aggregate folds with an order-insensitive reduction; no diagnostic.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes into another map; insertion order does not matter.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// suppressedSeed documents a reviewed exception via the escape hatch.
+func suppressedSeed() int64 {
+	// tlbvet:ignore determinism fixture exercises the escape hatch
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,125 @@
+// Fixture for the locksafe analyzer.
+package locksafe
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) valueRecv() int { // want "by value, copying the lock"
+	return c.n
+}
+
+func (c *counter) ptrRecv() int {
+	return c.n
+}
+
+func byValueParam(c counter) int { // want "by value, copying the lock"
+	return c.n
+}
+
+func byPointerParam(c *counter) int {
+	return c.n
+}
+
+func sendWhileLocked(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want "channel send while c.mu is held"
+	c.mu.Unlock()
+}
+
+func sendAfterUnlock(c *counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+func sendUnderDeferredUnlock(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n // want "channel send while c.mu is held"
+}
+
+func receiveWhileLocked(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = <-ch // want "channel receive while c.mu is held"
+}
+
+// nonBlockingNotify is the jobstore idiom: select with default never
+// blocks, so it is safe under the lock.
+func nonBlockingNotify(c *counter, ch chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func blockingSelect(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want "blocking select while c.mu is held"
+	case v := <-ch:
+		c.n = v
+	}
+}
+
+func sleepWhileLocked(c *counter) {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while c.mu is held"
+	c.mu.Unlock()
+}
+
+func waitWhileLocked(c *counter, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while c.mu is held"
+}
+
+// spawnWhileLocked: the goroutine body runs outside the critical
+// section, so the send inside it is fine.
+func spawnWhileLocked(c *counter, ch chan int) {
+	c.mu.Lock()
+	go func() { ch <- 1 }()
+	c.mu.Unlock()
+}
+
+// branchScoped: a lock taken and released inside a branch does not
+// leak into the statements after the branch.
+func branchScoped(c *counter, ch chan int, cond bool) {
+	if cond {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	ch <- c.n
+}
+
+// rlockSend: read locks still serialize against writers; blocking under
+// them is flagged too.
+type gauge struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func rlockSend(g *gauge, ch chan int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ch <- g.v // want "channel send while g.mu is held"
+}
+
+// suppressedSend documents a reviewed exception.
+func suppressedSend(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// tlbvet:ignore locksafe fixture exercises the escape hatch
+	ch <- c.n
+}

@@ -1,0 +1,38 @@
+// Fixture for the noprint analyzer (library package).
+package noprint
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+func shout(v int) {
+	fmt.Println("v =", v) // want "fmt.Println writes to stdout"
+}
+
+func shoutf(v int) {
+	fmt.Printf("v = %d\n", v) // want "fmt.Printf writes to stdout"
+}
+
+func debug(v int) {
+	println("v", v) // want "builtin println"
+}
+
+func injected(w io.Writer, v int) {
+	fmt.Fprintf(w, "v = %d\n", v) // writer is injected by the caller: fine
+}
+
+func logged(v int) {
+	slog.Info("computed", "v", v)
+}
+
+func formatted(v int) string {
+	return fmt.Sprintf("v = %d", v)
+}
+
+// suppressedPrint documents a reviewed exception.
+func suppressedPrint(v int) {
+	// tlbvet:ignore noprint fixture exercises the escape hatch
+	fmt.Println(v)
+}

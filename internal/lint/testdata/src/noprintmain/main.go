@@ -1,0 +1,8 @@
+// Clean fixture: package main owns stdout; noprint must stay silent.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("hello from a command")
+}

@@ -1,0 +1,19 @@
+// Fixture proving package gating: "plain" is not a simulation package,
+// so the determinism analyzer must report nothing here even though the
+// code would be flagged inside internal/sim.
+package plain
+
+import (
+	"fmt"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func printOrder(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

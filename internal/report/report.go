@@ -97,6 +97,7 @@ func (o Options) ctx() context.Context {
 	if o.Context != nil {
 		return o.Context
 	}
+	// tlbvet:ignore ctxflow Options.Context is the caller's context; nil means "no cancellation", the documented API default.
 	return context.Background()
 }
 

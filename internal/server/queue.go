@@ -36,6 +36,7 @@ func newQueue(workers, depth int, run func(ctx context.Context, j *job)) *queue 
 		ch:  make(chan *job, depth),
 		run: run,
 	}
+	// tlbvet:ignore ctxflow the pool outlives any request; its lifetime is bound to close(), not a caller's context.
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
