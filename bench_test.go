@@ -471,7 +471,10 @@ func BenchmarkExperimentHarness(b *testing.B) {
 func newBenchServer(b *testing.B, cfg server.Config) *httptest.Server {
 	b.Helper()
 	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	b.Cleanup(ts.Close)
 	b.Cleanup(func() { srv.Drain(context.Background()) })

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybridtlb"
 	"hybridtlb/internal/server"
 )
 
@@ -36,7 +37,13 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-sweep-job budget")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget before in-flight jobs are canceled")
 		maxAccesses  = flag.Uint64("max-accesses", 5_000_000, "per-simulation accesses cap")
-		maxJobs      = flag.Int("max-jobs", 4096, "per-sweep expanded grid cap")
+		maxCells     = flag.Int("max-cells", 4096, "per-sweep expanded grid cap")
+		maxJobs      = flag.Int("max-jobs", 512, "retained sweep jobs before the oldest terminal ones are evicted (0: unlimited)")
+		stateDir     = flag.String("state-dir", "", "directory for the durable result store and job journal (empty: in-memory only)")
+		retries      = flag.Int("retries", 1, "attempts per sweep cell before its error is final")
+		chaos        = flag.Float64("chaos", 0, "fault-injection rate [0,1) for transient cell failures (testing only)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection")
+		chaosDelay   = flag.Duration("chaos-delay", 0, "max injected per-cell delay (testing only)")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
@@ -47,16 +54,34 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	srv := server.New(server.Config{
+	var faults *hybridtlb.FaultInjector
+	if *chaos > 0 || *chaosDelay > 0 {
+		faults = &hybridtlb.FaultInjector{
+			Seed:          *chaosSeed,
+			TransientRate: *chaos,
+			Delay:         *chaosDelay,
+		}
+		log.Warn("fault injection enabled", "rate", *chaos, "seed", *chaosSeed, "delay", *chaosDelay)
+	}
+
+	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		SweepParallelism: *sweepPar,
 		SimulateTimeout:  *simTimeout,
 		JobTimeout:       *jobTimeout,
 		MaxAccesses:      *maxAccesses,
-		MaxSweepJobs:     *maxJobs,
+		MaxSweepJobs:     *maxCells,
+		MaxJobs:          *maxJobs,
+		StateDir:         *stateDir,
+		Retry:            hybridtlb.RetryPolicy{MaxAttempts: *retries, Seed: *chaosSeed},
+		Faults:           faults,
 		Logger:           log,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlbserver:", err)
+		os.Exit(1)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -92,6 +117,9 @@ func main() {
 	drainErr := srv.Drain(shutdownCtx)
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Warn("http shutdown", "err", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Warn("closing journal", "err", err)
 	}
 	if drainErr != nil {
 		fmt.Fprintln(os.Stderr, "tlbserver: drain:", drainErr)

@@ -17,7 +17,8 @@ import (
 // content-addressed sweep cache stays sound.
 const defaultSimPkgs = "internal/sim,internal/sweep,internal/tlb,internal/mmu," +
 	"internal/core,internal/mapping,internal/osmem,internal/workload," +
-	"internal/trace,internal/mem,internal/pagetable,internal/buddy,internal/report"
+	"internal/trace,internal/mem,internal/pagetable,internal/buddy,internal/report," +
+	"internal/persist"
 
 // Determinism forbids nondeterminism sources in simulation packages:
 // wall-clock reads, the global math/rand generator, crypto/rand, and

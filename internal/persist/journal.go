@@ -1,0 +1,151 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// journalVersion stamps every record; replay stops at the first record
+// from a different format, treating everything after it like a torn
+// tail.
+const journalVersion = 1
+
+// Record types. "accepted" carries the original request so an
+// interrupted job can be re-expanded and re-enqueued after a restart;
+// "state" marks lifecycle transitions; "evicted" marks retention-cap
+// evictions so replay keeps answering 410 for those IDs.
+const (
+	RecordAccepted = "accepted"
+	RecordState    = "state"
+	RecordEvicted  = "evicted"
+)
+
+// Record is one journal line. Timestamps are supplied by the caller —
+// the package itself never reads the clock.
+type Record struct {
+	Version int             `json:"v"`
+	Type    string          `json:"t"`
+	Job     string          `json:"job"`
+	Time    time.Time       `json:"time"`
+	State   string          `json:"state,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Cells   int             `json:"cells,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// Journal is an append-only JSONL log. Appends are serialized and
+// fsynced per record: a record either reaches disk whole (terminated
+// by its newline) or is discarded as a torn tail on the next open.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	replayed int
+	dropped  int
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every intact record, truncates any torn or corrupt tail, and returns
+// the journal positioned for appending. A damaged tail is never an
+// error — recovery proceeds from the last good line.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: open journal %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("persist: read journal %s: %w", path, err)
+	}
+
+	var recs []Record
+	good := 0 // byte offset just past the last intact record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated final line: torn write
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			good = off
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Version != journalVersion {
+			break // corrupt or foreign record: replay up to here only
+		}
+		recs = append(recs, r)
+		good = off
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: open journal %s: %w", path, err)
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return nil, nil, fmt.Errorf("persist: truncate torn journal tail %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, nil, fmt.Errorf("persist: seek journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, replayed: len(recs), dropped: len(data) - good}, recs, nil
+}
+
+// Append writes one record and fsyncs it. Errors are reported but the
+// journal stays usable; a failed append means the record may be lost
+// on crash, not that the process must stop.
+func (j *Journal) Append(r Record) error {
+	r.Version = journalVersion
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("persist: encode journal record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("persist: append journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("persist: sync journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Replayed reports how many intact records the opening replay
+// returned; Dropped reports how many tail bytes were discarded as
+// torn or corrupt.
+func (j *Journal) Replayed() int { return j.replayed }
+func (j *Journal) Dropped() int  { return j.dropped }
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		if cerr := j.f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return fmt.Errorf("persist: close journal %s: %w", j.path, err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("persist: close journal %s: %w", j.path, err)
+	}
+	return nil
+}

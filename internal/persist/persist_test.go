@@ -1,0 +1,323 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("cell-1")
+	payload := []byte(`{"result":{"walks":42},"churn":{"ops":7}}`)
+	if err := s.Save(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(key)
+	if !ok {
+		t.Fatal("Load after Save missed")
+	}
+	var want bytes.Buffer
+	if err := json.Compact(&want, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("payload mismatch:\n got %s\nwant %s", got, want.Bytes())
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Writes != 1 || st.Corruptions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 write, 0 corruptions", st)
+	}
+}
+
+func TestStoreMiss(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(testKey("absent")); ok {
+		t.Fatal("Load of absent key hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if err := s.Save(key, []byte(`{}`)); err == nil {
+			t.Errorf("Save(%q) succeeded, want error", key)
+		}
+		if _, ok := s.Load(key); ok {
+			t.Errorf("Load(%q) hit, want miss", key)
+		}
+	}
+}
+
+// A flipped byte inside a stored entry must quarantine the file and
+// degrade to a miss — never an error, never a bogus hit.
+func TestStoreCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("corrupt-me")
+	if err := s.Save(key, []byte(`{"walks":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key[:2], key+".json")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Load(key); ok {
+		t.Fatal("Load of corrupt entry hit")
+	}
+	st := s.Stats()
+	if st.Corruptions != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 corruption and 1 miss", st)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still in place, want quarantined")
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir = %v entries, err %v; want 1 entry", len(q), err)
+	}
+	// The key stays writable after quarantine.
+	if err := s.Save(key, []byte(`{"walks":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(key); !ok {
+		t.Fatal("re-save after quarantine missed")
+	}
+}
+
+// A version bump invalidates old entries: they are misses, not errors.
+func TestStoreVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("old-version")
+	payload := []byte(`{"walks":2}`)
+	sum := sha256.Sum256(payload)
+	env := fmt.Sprintf(`{"v":%d,"key":%q,"sha256":%q,"payload":%s}`,
+		storeVersion+1, key, hex.EncodeToString(sum[:]), payload)
+	p := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(env), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(key); ok {
+		t.Fatal("Load of future-version entry hit")
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Fatalf("stats = %+v, want 1 corruption", st)
+	}
+}
+
+// Entries whose filename does not match the embedded key (e.g. a
+// mis-copied state dir) are rejected.
+func TestStoreKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testKey("a"), []byte(`{"walks":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, testKey("a")[:2], testKey("a")+".json")
+	dstKey := testKey("b")
+	dst := filepath.Join(dir, dstKey[:2], dstKey+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(dstKey); ok {
+		t.Fatal("Load of entry with mismatched key hit")
+	}
+}
+
+func TestStoreConcurrentSaves(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := testKey(fmt.Sprintf("cell-%d", i%4))
+			payload := []byte(fmt.Sprintf(`{"walks":%d}`, i%4))
+			if err := s.Save(key, payload); err != nil {
+				t.Error(err)
+			}
+			if _, ok := s.Load(key); !ok {
+				t.Errorf("Load(%s) missed after Save", key)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.WriteErrors != 0 {
+		t.Fatalf("stats = %+v, want no write errors", st)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	want := []Record{
+		{Type: RecordAccepted, Job: "swp_1", Time: now, Cells: 4, Request: json.RawMessage(`{"schemes":["htc"]}`)},
+		{Type: RecordState, Job: "swp_1", Time: now.Add(time.Second), State: "running"},
+		{Type: RecordState, Job: "swp_1", Time: now.Add(2 * time.Second), State: "done"},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Type != want[i].Type || r.Job != want[i].Job || r.State != want[i].State ||
+			!r.Time.Equal(want[i].Time) || r.Cells != want[i].Cells ||
+			!bytes.Equal(r.Request, want[i].Request) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if j2.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", j2.Dropped())
+	}
+}
+
+// A torn final line — the signature of a crash mid-append — must be
+// discarded and truncated so later appends produce a clean file.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := j.Append(Record{Type: RecordAccepted, Job: "swp_1", Time: now}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"t":"state","job":"swp_1","st`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Job != "swp_1" {
+		t.Fatalf("replayed %+v, want the single intact record", recs)
+	}
+	if j2.Dropped() == 0 {
+		t.Fatal("Dropped = 0, want > 0 for the torn tail")
+	}
+	// Appending after truncation must yield a parseable journal.
+	if err := j2.Append(Record{Type: RecordState, Job: "swp_1", Time: now, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].State != "done" {
+		t.Fatalf("after re-append replayed %+v, want 2 records ending in done", recs)
+	}
+}
+
+// Garbage in the middle stops replay at the last good line; the rest
+// of the file (even if it parses) is dropped rather than trusted.
+func TestJournalCorruptLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	lines := `{"v":1,"t":"accepted","job":"swp_1","time":"2026-08-05T12:00:00Z"}
+not json at all
+{"v":1,"t":"state","job":"swp_1","time":"2026-08-05T12:00:01Z","state":"done"}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 1 || recs[0].Type != RecordAccepted {
+		t.Fatalf("replayed %+v, want only the first record", recs)
+	}
+	if j.Dropped() == 0 {
+		t.Fatal("Dropped = 0, want the corrupt remainder counted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package persist provides the durable state layer for crash-safe
+// sweeps: a content-addressed result store (one checksummed file per
+// sweep-cell key, written atomically) and an append-only JSONL job
+// journal (replayed on startup, tolerant of a torn final line).
+//
+// The package is deliberately clock-free — callers supply timestamps —
+// so it can sit inside the determinism boundary enforced by tlbvet:
+// nothing here reads the wall clock or consumes ambient randomness.
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// storeVersion stamps every envelope; bumping it invalidates (and
+// quarantines) all prior entries, which is exactly what a format change
+// requires of a content-addressed cache.
+const storeVersion = 1
+
+// StoreStats is a snapshot of the store's counters.
+type StoreStats struct {
+	Hits        uint64 // entries loaded and verified
+	Misses      uint64 // absent entries (corrupt entries also count here)
+	Corruptions uint64 // entries that failed version/key/checksum validation
+	Writes      uint64 // entries persisted successfully
+	WriteErrors uint64 // failed persists (callers degrade to memory-only)
+}
+
+// ResultStore is a disk-backed content-addressed store keyed by the
+// sweep engine's SHA-256 job key. Entries live at
+// dir/<key[:2]>/<key>.json wrapped in a checksummed envelope; a
+// corrupt or version-mismatched entry is moved to dir/quarantine/ and
+// reported as a miss, never an error — losing a cache entry must not
+// lose a sweep.
+//
+// All methods are safe for concurrent use: distinct keys touch
+// distinct files, and same-key writers race only on an atomic rename.
+type ResultStore struct {
+	dir        string
+	quarantine string
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	corruptions atomic.Uint64
+	writes      atomic.Uint64
+	writeErrors atomic.Uint64
+}
+
+// envelope is the on-disk wrapper. Sum is the hex SHA-256 of the
+// compacted Payload bytes exactly as they appear in the file, so a
+// flipped bit anywhere in the payload fails verification.
+type envelope struct {
+	Version int             `json:"v"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*ResultStore, error) {
+	q := filepath.Join(dir, "quarantine")
+	if err := os.MkdirAll(q, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open store %s: %w", dir, err)
+	}
+	return &ResultStore{dir: dir, quarantine: q}, nil
+}
+
+// validKey accepts only lowercase-hex SHA-256 keys; anything else
+// (path separators, traversal) is rejected before touching the
+// filesystem.
+func validKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *ResultStore) entryPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Load returns the payload stored under key, or (nil, false) on a
+// miss. An unreadable, corrupt, wrong-version, or wrong-key entry is
+// quarantined and counted, then reported as a miss.
+func (s *ResultStore) Load(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	p := s.entryPath(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.quarantineEntry(p)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.quarantineEntry(p)
+		s.misses.Add(1)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if env.Version != storeVersion || env.Key != key || env.Sum != hex.EncodeToString(sum[:]) {
+		s.quarantineEntry(p)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return env.Payload, true
+}
+
+// quarantineEntry moves a bad entry aside so it cannot poison future
+// loads; if even the rename fails the entry is deleted. Best-effort by
+// design: degradation must never fail the caller.
+func (s *ResultStore) quarantineEntry(p string) {
+	s.corruptions.Add(1)
+	if err := os.Rename(p, filepath.Join(s.quarantine, filepath.Base(p))); err != nil {
+		os.Remove(p)
+	}
+}
+
+// Save persists payload (which must be valid JSON) under key. The
+// entry is staged in a temp file, fsynced, then renamed into place so
+// readers — including a future process recovering after a crash —
+// observe either the complete entry or none at all.
+func (s *ResultStore) Save(key string, payload []byte) error {
+	if !validKey(key) {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("persist: invalid store key %q", key)
+	}
+	env, err := encodeEnvelope(key, payload)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	p := s.entryPath(key)
+	if err := s.writeAtomic(p, env); err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// encodeEnvelope compacts the payload and wraps it so that the
+// checksum is computed over the exact bytes that land in the file.
+// Encoding goes through a json.Encoder with HTML escaping off: that
+// matches json.Compact byte-for-byte, keeping Sum verifiable on Load.
+func encodeEnvelope(key string, payload []byte) ([]byte, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return nil, fmt.Errorf("persist: payload for %s is not valid JSON: %w", key, err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	var out bytes.Buffer
+	enc := json.NewEncoder(&out)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(envelope{
+		Version: storeVersion,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(compact.Bytes()),
+	}); err != nil {
+		return nil, fmt.Errorf("persist: encode entry %s: %w", key, err)
+	}
+	return out.Bytes(), nil
+}
+
+func (s *ResultStore) writeAtomic(p string, data []byte) error {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, p)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: write %s: %w", p, err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *ResultStore) Stats() StoreStats {
+	return StoreStats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Corruptions: s.corruptions.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+	}
+}

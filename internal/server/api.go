@@ -31,6 +31,7 @@ const (
 	codeTimeout        = "timeout"
 	codeInternal       = "internal_error"
 	codeConflict       = "conflict"
+	codeGone           = "gone"
 )
 
 func invalidField(field, format string, args ...any) *apiError {

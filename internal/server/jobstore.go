@@ -71,6 +71,35 @@ func newJob(cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest) *job {
 	}
 }
 
+// newRestoredJob rebuilds a journaled job under its original ID so
+// clients polling across a restart keep getting answers.
+func newRestoredJob(id string, cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest, created time.Time) *job {
+	return &job{
+		id:      id,
+		configs: cfgs,
+		echoes:  echoes,
+		state:   JobQueued,
+		created: created,
+		subs:    make(map[int]chan struct{}),
+	}
+}
+
+// restoreTerminal stamps a recovered job directly into a terminal
+// state, with whatever the journal knew about its timeline.
+func (j *job) restoreTerminal(state JobState, started, finished time.Time, results []hybridtlb.SweepResult, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.started = started
+	j.finished = finished
+	j.results = results
+	j.errMsg = errMsg
+	j.done = len(j.configs)
+	if state == JobCanceled {
+		j.canceled.Store(true)
+	}
+}
+
 func randomID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -248,24 +277,109 @@ func (j *job) progress() progressJSON {
 	return progressJSON{ID: j.id, State: j.state, Done: j.done, Total: len(j.configs)}
 }
 
-// jobStore indexes jobs by ID, preserving submission order for listing.
-// Jobs are kept for the server's lifetime — the store doubles as the
-// result cache clients poll after a 202.
+// jobStore indexes jobs by ID, preserving submission order for
+// listing. With maxJobs > 0 it retains at most that many jobs,
+// evicting the oldest *terminal* jobs first — active jobs are never
+// evicted — and remembers evicted IDs so clients polling them get
+// 410 Gone instead of a confusable 404.
 type jobStore struct {
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	maxJobs   int
+	evicted   map[string]bool
+	evictions int64
 }
 
-func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*job)}
+func newJobStore(maxJobs int) *jobStore {
+	return &jobStore{
+		jobs:    make(map[string]*job),
+		maxJobs: maxJobs,
+		evicted: make(map[string]bool),
+	}
 }
 
-func (s *jobStore) add(j *job) {
+// add indexes a job and enforces the retention cap, returning the IDs
+// it evicted (for journaling).
+func (s *jobStore) add(j *job) []string {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	delete(s.evicted, j.id) // a restored ID is live again
+	return s.enforceCapLocked()
+}
+
+// remove forgets a job entirely (rejected submissions); unlike
+// eviction the ID does not answer 410 afterwards.
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// enforceCap applies the retention cap outside add — called after a
+// job turns terminal — returning the evicted IDs.
+func (s *jobStore) enforceCap() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enforceCapLocked()
+}
+
+func (s *jobStore) enforceCapLocked() []string {
+	if s.maxJobs <= 0 {
+		return nil
+	}
+	var out []string
+	for len(s.order) > s.maxJobs {
+		victim := ""
+		idx := -1
+		for i, id := range s.order {
+			j := s.jobs[id]
+			j.mu.Lock()
+			t := j.state.terminal()
+			j.mu.Unlock()
+			if t {
+				victim, idx = id, i
+				break
+			}
+		}
+		if idx < 0 {
+			return out // everything over the cap is still active
+		}
+		s.order = append(s.order[:idx], s.order[idx+1:]...)
+		delete(s.jobs, victim)
+		s.evicted[victim] = true
+		s.evictions++
+		out = append(out, victim)
+	}
+	return out
+}
+
+// markEvicted replays a journaled eviction so the ID keeps answering
+// 410 after a restart.
+func (s *jobStore) markEvicted(id string) {
+	s.mu.Lock()
+	s.evicted[id] = true
 	s.mu.Unlock()
+}
+
+func (s *jobStore) isEvicted(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted[id]
+}
+
+func (s *jobStore) evictionCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
 }
 
 func (s *jobStore) get(id string) (*job, bool) {

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hybridtlb/internal/persist"
 )
 
 // metrics is a dependency-free Prometheus-text registry for the
@@ -16,6 +18,10 @@ import (
 type metrics struct {
 	workersBusy atomic.Int64
 	rejected    atomic.Int64
+	// recovered counts terminal jobs restored from the journal at
+	// startup; resumed counts interrupted jobs re-enqueued.
+	recovered atomic.Int64
+	resumed   atomic.Int64
 
 	mu       sync.Mutex
 	requests map[requestKey]int64
@@ -94,6 +100,9 @@ type gauges struct {
 	cacheJobs     int
 	cacheHits     int
 	cacheMisses   int
+	retries       int
+	evictions     int64
+	store         persist.StoreStats
 	ready         bool
 }
 
@@ -177,9 +186,45 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE tlbserver_sweep_cache_hits_total counter")
 	fmt.Fprintf(w, "tlbserver_sweep_cache_hits_total %d\n", g.cacheHits)
 
-	fmt.Fprintln(w, "# HELP tlbserver_sweep_cache_misses_total Cells that actually simulated.")
+	fmt.Fprintln(w, "# HELP tlbserver_sweep_cache_misses_total Cells that missed the in-memory result cache.")
 	fmt.Fprintln(w, "# TYPE tlbserver_sweep_cache_misses_total counter")
 	fmt.Fprintf(w, "tlbserver_sweep_cache_misses_total %d\n", g.cacheMisses)
+
+	fmt.Fprintln(w, "# HELP tlbserver_sweep_retries_total Cell attempts re-run after transient failures.")
+	fmt.Fprintln(w, "# TYPE tlbserver_sweep_retries_total counter")
+	fmt.Fprintf(w, "tlbserver_sweep_retries_total %d\n", g.retries)
+
+	fmt.Fprintln(w, "# HELP tlbserver_store_hits_total Cells served from the durable result store.")
+	fmt.Fprintln(w, "# TYPE tlbserver_store_hits_total counter")
+	fmt.Fprintf(w, "tlbserver_store_hits_total %d\n", g.store.Hits)
+
+	fmt.Fprintln(w, "# HELP tlbserver_store_misses_total Durable-store probes that found no entry (corrupt entries included).")
+	fmt.Fprintln(w, "# TYPE tlbserver_store_misses_total counter")
+	fmt.Fprintf(w, "tlbserver_store_misses_total %d\n", g.store.Misses)
+
+	fmt.Fprintln(w, "# HELP tlbserver_store_corruptions_total Durable-store entries quarantined for failing validation.")
+	fmt.Fprintln(w, "# TYPE tlbserver_store_corruptions_total counter")
+	fmt.Fprintf(w, "tlbserver_store_corruptions_total %d\n", g.store.Corruptions)
+
+	fmt.Fprintln(w, "# HELP tlbserver_store_writes_total Cells written through to the durable result store.")
+	fmt.Fprintln(w, "# TYPE tlbserver_store_writes_total counter")
+	fmt.Fprintf(w, "tlbserver_store_writes_total %d\n", g.store.Writes)
+
+	fmt.Fprintln(w, "# HELP tlbserver_store_write_errors_total Failed durable-store writes (results stayed memory-only).")
+	fmt.Fprintln(w, "# TYPE tlbserver_store_write_errors_total counter")
+	fmt.Fprintf(w, "tlbserver_store_write_errors_total %d\n", g.store.WriteErrors)
+
+	fmt.Fprintln(w, "# HELP tlbserver_jobs_recovered_total Terminal jobs restored from the journal at startup.")
+	fmt.Fprintln(w, "# TYPE tlbserver_jobs_recovered_total counter")
+	fmt.Fprintf(w, "tlbserver_jobs_recovered_total %d\n", m.recovered.Load())
+
+	fmt.Fprintln(w, "# HELP tlbserver_jobs_resumed_total Interrupted jobs re-enqueued from the journal at startup.")
+	fmt.Fprintln(w, "# TYPE tlbserver_jobs_resumed_total counter")
+	fmt.Fprintf(w, "tlbserver_jobs_resumed_total %d\n", m.resumed.Load())
+
+	fmt.Fprintln(w, "# HELP tlbserver_jobs_evicted_total Terminal jobs evicted by the -max-jobs retention cap.")
+	fmt.Fprintln(w, "# TYPE tlbserver_jobs_evicted_total counter")
+	fmt.Fprintf(w, "tlbserver_jobs_evicted_total %d\n", g.evictions)
 
 	fmt.Fprintln(w, "# HELP tlbserver_ready Whether the server is accepting work (0 while draining).")
 	fmt.Fprintln(w, "# TYPE tlbserver_ready gauge")

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridtlb"
+	"hybridtlb/internal/persist"
+)
+
+// fetchJobRaw fetches a job's full status payload with per-cell result
+// objects kept as raw JSON, for byte-level comparisons.
+type rawJob struct {
+	ID      string `json:"id"`
+	State   JobState
+	Results []struct {
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	} `json:"results"`
+}
+
+func fetchJobRaw(t *testing.T, ts *httptest.Server, statusURL string) rawJob {
+	t.Helper()
+	resp, err := http.Get(ts.URL + statusURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", statusURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", statusURL, resp.StatusCode)
+	}
+	return decodeBody[rawJob](t, resp)
+}
+
+func metricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return string(b)
+}
+
+// corruptFile flips one byte in the middle of a file.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendFile appends raw bytes (no trailing newline — a torn write).
+func appendFile(t *testing.T, path, data string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// metricValue extracts one un-labeled counter/gauge from Prometheus
+// text exposition.
+func metricValue(t *testing.T, body, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return ""
+}
+
+// TestRestartRestoresDoneJob runs a real sweep with a state dir, tears
+// the server down, builds a fresh one over the same dir, and checks the
+// job is still there — terminal, byte-identical per-cell results —
+// without any cell being re-simulated (every cell is a store hit).
+func TestRestartRestoresDoneJob(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	acc := submitSweep(t, ts1, tinySweep)
+	if got := waitTerminal(t, ts1, acc.StatusURL); got.State != JobDone {
+		t.Fatalf("first run state = %s, want done", got.State)
+	}
+	before := fetchJobRaw(t, ts1, acc.StatusURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s1.Drain(ctx)
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	after := fetchJobRaw(t, ts2, acc.StatusURL)
+	if after.State != JobDone {
+		t.Fatalf("restored state = %s, want done", after.State)
+	}
+	if len(after.Results) != len(before.Results) {
+		t.Fatalf("restored %d cells, want %d", len(after.Results), len(before.Results))
+	}
+	for i := range before.Results {
+		if string(before.Results[i].Result) != string(after.Results[i].Result) {
+			t.Errorf("cell %d result diverged across restart:\n before: %s\n after:  %s",
+				i, before.Results[i].Result, after.Results[i].Result)
+		}
+	}
+
+	m := metricsBody(t, ts2)
+	if got := metricValue(t, m, "tlbserver_jobs_recovered_total"); got != "1" {
+		t.Errorf("jobs_recovered_total = %s, want 1", got)
+	}
+	if got := metricValue(t, m, "tlbserver_store_hits_total"); got == "0" {
+		t.Error("store_hits_total = 0; restoration should have read the durable store")
+	}
+}
+
+// TestRestartResumesInterruptedJob hand-writes a journal describing a
+// job that was accepted and running when the process died — no terminal
+// record — and checks a new server re-enqueues it and runs it to done.
+func TestRestartResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := persist.OpenStore(filepath.Join(dir, "store")); err != nil {
+		t.Fatal(err)
+	}
+	jn, _, err := persist.OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := json.RawMessage(tinySweep)
+	now := time.Now().UTC()
+	if err := jn.Append(persist.Record{
+		Type: persist.RecordAccepted, Job: "swp_interrupted", Time: now, Cells: 2, Request: req,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(persist.Record{
+		Type: persist.RecordState, Job: "swp_interrupted", Time: now, State: string(JobRunning),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	got := waitTerminal(t, ts, "/v1/sweeps/swp_interrupted")
+	if got.State != JobDone {
+		t.Fatalf("resumed job state = %s, want done", got.State)
+	}
+	if got.Total != 2 || got.Done != 2 {
+		t.Fatalf("resumed job progress = %d/%d, want 2/2", got.Done, got.Total)
+	}
+	m := metricsBody(t, ts)
+	if got := metricValue(t, m, "tlbserver_jobs_resumed_total"); got != "1" {
+		t.Errorf("jobs_resumed_total = %s, want 1", got)
+	}
+}
+
+// TestRestartTerminalWithoutResults restores failed/canceled jobs with
+// their journaled error but no per-cell payload.
+func TestRestartTerminalWithoutResults(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := persist.OpenStore(filepath.Join(dir, "store")); err != nil {
+		t.Fatal(err)
+	}
+	jn, _, err := persist.OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	recs := []persist.Record{
+		{Type: persist.RecordAccepted, Job: "swp_failed", Time: now, Cells: 2, Request: json.RawMessage(tinySweep)},
+		{Type: persist.RecordState, Job: "swp_failed", Time: now, State: string(JobRunning)},
+		{Type: persist.RecordState, Job: "swp_failed", Time: now, State: string(JobFailed), Error: "boom"},
+	}
+	for _, r := range recs {
+		if err := jn.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: &fakeRunner{}, StateDir: dir})
+	resp, err := http.Get(ts.URL + "/v1/sweeps/swp_failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := decodeBody[JobJSON](t, resp)
+	if j.State != JobFailed || j.Error != "boom" {
+		t.Fatalf("restored job = %s/%q, want failed/boom", j.State, j.Error)
+	}
+}
+
+// TestCorruptStateDegradesGracefully corrupts both durable artifacts —
+// a flipped byte in a store entry, garbage appended to the journal —
+// and checks the server still starts and still answers.
+func TestCorruptStateDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	acc := submitSweep(t, ts1, tinySweep)
+	waitTerminal(t, ts1, acc.StatusURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s1.Drain(ctx)
+	ts1.Close()
+	s1.Close()
+
+	// Corrupt every store entry and tear the journal's tail.
+	entries, err := filepath.Glob(filepath.Join(dir, "store", "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("expected store entries, got %v (err %v)", entries, err)
+	}
+	for _, e := range entries {
+		corruptFile(t, e)
+	}
+	appendFile(t, filepath.Join(dir, "journal.jsonl"), `{"v":1,"t":"state","job":"swp_tor`)
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	// The job recovers as done: the store entries are quarantined, so the
+	// cells re-simulate — slower, but correct.
+	got := waitTerminal(t, ts2, acc.StatusURL)
+	if got.State != JobDone {
+		t.Fatalf("recovered state with corrupt store = %s, want done", got.State)
+	}
+	m := metricsBody(t, ts2)
+	if got := metricValue(t, m, "tlbserver_store_corruptions_total"); got == "0" {
+		t.Error("store_corruptions_total = 0, want > 0")
+	}
+}
+
+// TestEvictionAnswers410 caps retention at one job and checks the
+// evicted ID answers 410 Gone (not 404) and is counted.
+func TestEvictionAnswers410(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 1, Runner: &fakeRunner{}})
+	first := submitSweep(t, ts, `{"schemes":["anchor"],"workloads":["gups"],"scenarios":["demand"]}`)
+	waitTerminal(t, ts, first.StatusURL)
+	second := submitSweep(t, ts, `{"schemes":["base"],"workloads":["gups"],"scenarios":["demand"]}`)
+	waitTerminal(t, ts, second.StatusURL)
+
+	resp, err := http.Get(ts.URL + first.StatusURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("GET evicted job = %d, want 410", resp.StatusCode)
+	}
+	env := decodeBody[errEnvelope](t, resp)
+	if env.Error.Code != codeGone {
+		t.Errorf("error code = %q, want %q", env.Error.Code, codeGone)
+	}
+	// Unknown IDs still answer 404, not 410.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/swp_never_existed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d, want 404", resp.StatusCode)
+	}
+	m := metricsBody(t, ts)
+	if got := metricValue(t, m, "tlbserver_jobs_evicted_total"); got != "1" {
+		t.Errorf("jobs_evicted_total = %s, want 1", got)
+	}
+}
+
+// TestEvictionSkipsActiveJobs checks the cap never evicts a queued or
+// running job, even when everything over the cap is active.
+func TestEvictionSkipsActiveJobs(t *testing.T) {
+	fr := &fakeRunner{block: make(chan struct{}), started: make(chan struct{}, 1)}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, MaxJobs: 1, Runner: fr})
+	running := submitSweep(t, ts, `{"schemes":["anchor"],"workloads":["gups"],"scenarios":["demand"]}`)
+	<-fr.started
+	queued := submitSweep(t, ts, `{"schemes":["base"],"workloads":["gups"],"scenarios":["demand"]}`)
+
+	// Two active jobs, cap of one: neither may disappear.
+	for _, u := range []string{running.StatusURL, queued.StatusURL} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200 (active jobs must not be evicted)", u, resp.StatusCode)
+		}
+	}
+	close(fr.block)
+	waitTerminal(t, ts, queued.StatusURL)
+}
+
+// TestChaosSoak drives the real sweeper through seeded fault injection
+// and checks the retry ladder converges every cell to a clean result.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	_, ts := newTestServer(t, Config{
+		Workers: 2,
+		Retry:   hybridtlb.RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 11},
+		Faults:  &hybridtlb.FaultInjector{Seed: 11, TransientRate: 0.4},
+	})
+	acc := submitSweep(t, ts, tinySweep)
+	got := waitTerminal(t, ts, acc.StatusURL)
+	if got.State != JobDone {
+		t.Fatalf("chaos sweep state = %s (err %q), want done", got.State, got.Error)
+	}
+	m := metricsBody(t, ts)
+	if got := metricValue(t, m, "tlbserver_sweep_retries_total"); got == "0" {
+		t.Error("sweep_retries_total = 0; fault injection should have forced retries")
+	}
+}
+
+// TestSubmitVsDrainRace hammers submissions while the server drains;
+// run under -race this shakes out queue/journal synchronization. Every
+// accepted job must still reach a terminal state.
+func TestSubmitVsDrainRace(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, Runner: &fakeRunner{}, StateDir: t.TempDir()})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted []string
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+					strings.NewReader(`{"schemes":["anchor"],"workloads":["gups"],"scenarios":["demand"]}`))
+				if err != nil {
+					return
+				}
+				if resp.StatusCode == http.StatusAccepted {
+					acc := decodeBody[acceptedJSON](t, resp)
+					mu.Lock()
+					accepted = append(accepted, acc.StatusURL)
+					mu.Unlock()
+				} else {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	// Let some submissions land, then drain concurrently with the rest.
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	for _, u := range accepted {
+		if j := waitTerminal(t, ts, u); !j.State.terminal() {
+			t.Errorf("job at %s not terminal after drain", u)
+		}
+	}
+}
+
+// TestSSEKeepalive holds a job open past several keepalive intervals
+// and checks the event stream carries ": keepalive" comment lines while
+// idle, then still delivers the terminal event.
+func TestSSEKeepalive(t *testing.T) {
+	fr := &fakeRunner{block: make(chan struct{}), started: make(chan struct{}, 1)}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: fr, SSEKeepAlive: 20 * time.Millisecond})
+	acc := submitSweep(t, ts, `{"schemes":["anchor"],"workloads":["gups"],"scenarios":["demand"]}`)
+	<-fr.started
+
+	resp, err := http.Get(ts.URL + acc.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	keepalives := 0
+	sawDone := false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		switch line := scanner.Text(); {
+		case line == ": keepalive":
+			keepalives++
+			if keepalives == 3 {
+				close(fr.block) // enough idle traffic observed; let the job finish
+			}
+		case line == "event: done":
+			sawDone = true
+		}
+		if sawDone {
+			break
+		}
+	}
+	if keepalives < 3 {
+		t.Errorf("saw %d keepalive comments, want >= 3", keepalives)
+	}
+	if !sawDone {
+		t.Error("stream ended without a done event")
+	}
+}
+
+// TestSSESubscriberLeak disconnects an event stream mid-job and checks
+// the job's subscriber table empties — a leaked entry would pin the
+// wake channel for the job's lifetime.
+func TestSSESubscriberLeak(t *testing.T) {
+	fr := &fakeRunner{block: make(chan struct{}), started: make(chan struct{}, 1)}
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: fr})
+	acc := submitSweep(t, ts, `{"schemes":["anchor"],"workloads":["gups"],"scenarios":["demand"]}`)
+	<-fr.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+acc.EventsURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one event so the handler is certainly subscribed, then drop
+	// the connection.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	j, ok := s.store.get(acc.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j.mu.Lock()
+		n := len(j.subs)
+		j.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscribers still registered after disconnect", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(fr.block)
+	waitTerminal(t, ts, acc.StatusURL)
+}
+
+// TestDrainTwiceIdempotent drains an idle server twice; the second
+// call must succeed without blocking or panicking on a closed channel.
+func TestDrainTwiceIdempotent(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, Runner: &fakeRunner{}})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

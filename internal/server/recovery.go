@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"time"
+
+	"hybridtlb/internal/persist"
+)
+
+// replayedJob is one job's state folded from the journal: the last
+// record wins, in journal order.
+type replayedJob struct {
+	id       string
+	request  json.RawMessage
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	state    JobState
+	errMsg   string
+	rejected bool
+	evicted  bool
+}
+
+// recover rebuilds the job store from the replayed journal. Terminal
+// jobs are restored for polling — a "done" job's results are
+// regenerated through the runner, where every persisted cell resolves
+// as a durable-store hit, so restoration costs disk reads, not
+// simulations. Jobs that were queued or running when the process died
+// are re-enqueued under their original IDs; their finished cells are
+// already in the store, so the resumed run re-simulates only the rest.
+//
+// Recovery never fails the server: a job that cannot be rebuilt (its
+// request no longer expands, the queue is full) is restored as failed
+// with an explanatory message rather than silently dropped.
+func (s *Server) recover(recs []persist.Record) {
+	jobs := make(map[string]*replayedJob)
+	var order []string
+	for _, r := range recs {
+		switch r.Type {
+		case persist.RecordAccepted:
+			if _, ok := jobs[r.Job]; ok {
+				continue
+			}
+			jobs[r.Job] = &replayedJob{
+				id: r.Job, request: r.Request, created: r.Time, state: JobQueued,
+			}
+			order = append(order, r.Job)
+		case persist.RecordState:
+			e, ok := jobs[r.Job]
+			if !ok {
+				continue // state for a job whose acceptance was lost
+			}
+			switch r.State {
+			case "rejected":
+				e.rejected = true
+			case string(JobRunning):
+				e.state = JobRunning
+				e.started = r.Time
+			case string(JobDone), string(JobFailed), string(JobCanceled):
+				e.state = JobState(r.State)
+				e.finished = r.Time
+				e.errMsg = r.Error
+			}
+		case persist.RecordEvicted:
+			if e, ok := jobs[r.Job]; ok {
+				e.evicted = true
+			}
+		}
+	}
+
+	for _, id := range order {
+		e := jobs[id]
+		switch {
+		case e.rejected:
+			// Never ran; the client was told 429/503 at the time.
+		case e.evicted:
+			s.store.markEvicted(id)
+		default:
+			s.restoreJob(e)
+		}
+	}
+}
+
+func (s *Server) restoreJob(e *replayedJob) {
+	var req SweepRequest
+	if err := json.Unmarshal(e.request, &req); err != nil {
+		s.log.Warn("recovery: journaled request unreadable; dropping job", "job", e.id, "err", err)
+		return
+	}
+	cfgs, echoes, apiErr := req.expand(s.cfg.limits())
+	if apiErr != nil {
+		s.log.Warn("recovery: journaled request no longer expands; dropping job", "job", e.id, "err", apiErr.Message)
+		return
+	}
+	j := newRestoredJob(e.id, cfgs, echoes, e.created)
+
+	switch e.state {
+	case JobDone:
+		// Regenerate the result payload through the runner: every cell
+		// of a done job was written through to the store, so this is a
+		// read, not a re-simulation. The queue's base context scopes the
+		// work to the server's lifetime, exactly like a worker's run.
+		results, err := s.runner.Run(s.queue.baseCtx, cfgs, nil)
+		if err != nil {
+			s.log.Warn("recovery: regenerating results failed", "job", e.id, "err", err)
+			j.restoreTerminal(JobFailed, e.started, e.finished, results,
+				"recovered after restart, but regenerating results failed: "+err.Error())
+		} else {
+			j.restoreTerminal(JobDone, e.started, e.finished, results, e.errMsg)
+		}
+		s.noteEvictions(s.store.add(j))
+		s.metrics.recovered.Add(1)
+		s.log.Info("recovery: restored terminal sweep", "job", e.id, "state", string(JobDone))
+	case JobFailed, JobCanceled:
+		// The per-cell results died with the old process; the terminal
+		// state, timeline and error survive for polling clients.
+		j.restoreTerminal(e.state, e.started, e.finished, nil, e.errMsg)
+		s.noteEvictions(s.store.add(j))
+		s.metrics.recovered.Add(1)
+		s.log.Info("recovery: restored terminal sweep", "job", e.id, "state", string(e.state))
+	default: // queued or running when the process died
+		s.noteEvictions(s.store.add(j))
+		if err := s.queue.submit(j); err != nil {
+			j.restoreTerminal(JobFailed, e.started, time.Now().UTC(), nil,
+				"interrupted by a restart and could not be re-enqueued: "+err.Error())
+			s.journalState(j.id, string(JobFailed), "")
+			s.log.Warn("recovery: re-enqueue failed", "job", e.id, "err", err)
+			return
+		}
+		s.metrics.resumed.Add(1)
+		s.log.Info("recovery: re-enqueued interrupted sweep", "job", e.id, "cells", len(cfgs))
+	}
+}

@@ -21,13 +21,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"hybridtlb"
+	"hybridtlb/internal/persist"
 )
 
 // Runner executes simulation batches. *hybridtlb.Sweeper implements it;
@@ -61,10 +64,30 @@ type Config struct {
 	// MaxSweepJobs caps one request's expanded grid size
 	// (default 4096; negative disables the cap).
 	MaxSweepJobs int
+	// MaxJobs caps how many jobs the store retains; beyond it the
+	// oldest terminal jobs are evicted and their IDs answer 410 Gone
+	// (default 0: unlimited).
+	MaxJobs int
+	// StateDir, when set, makes sweeps crash-safe: completed cells are
+	// persisted to a content-addressed store under it and every job
+	// transition is journaled, so a restarted server restores terminal
+	// jobs and resumes interrupted ones (re-simulating only cells not
+	// yet in the store). Empty: memory-only, the previous behavior.
+	StateDir string
+	// SSEKeepAlive is the idle interval between ": keepalive" comment
+	// lines on event streams, so proxies don't reap quiet connections
+	// (default 15s; negative disables).
+	SSEKeepAlive time.Duration
+	// Retry is the per-cell retry policy handed to the default runner.
+	Retry hybridtlb.RetryPolicy
+	// Faults, when non-nil, injects seeded chaos into the default
+	// runner — the -chaos soak mode.
+	Faults *hybridtlb.FaultInjector
 	// Logger receives access and job logs (default slog.Default()).
 	Logger *slog.Logger
 	// Runner substitutes the sweep executor (default: a fresh
-	// hybridtlb.Sweeper with SweepParallelism).
+	// hybridtlb.Sweeper with SweepParallelism, wired to the StateDir
+	// store when one is configured).
 	Runner Runner
 }
 
@@ -93,12 +116,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepJobs == 0 {
 		c.MaxSweepJobs = 4096
 	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
-	if c.Runner == nil {
-		c.Runner = hybridtlb.NewSweeper(hybridtlb.SweepOptions{Parallelism: c.SweepParallelism})
-	}
+	// The default Runner is built in New, after the StateDir store is
+	// opened, so it can be wired through the sweeper.
 	return c
 }
 
@@ -123,24 +148,65 @@ type Server struct {
 	// bounds sweeps; a full semaphore is backpressure, not a wait.
 	simSem chan struct{}
 
+	// persistStore and journal are non-nil iff Config.StateDir is set.
+	persistStore *persist.ResultStore
+	journal      *persist.Journal
+
 	draining atomic.Bool
 	closing  chan struct{} // closed by BeginShutdown; ends SSE streams
 }
 
-// New assembles a server. The worker pool starts immediately.
-func New(cfg Config) *Server {
+// New assembles a server. The worker pool starts immediately; when
+// Config.StateDir is set, the journal is replayed first so restored
+// jobs are visible (and interrupted ones re-enqueued) before the
+// server takes traffic. Only opening the state dir can fail — a
+// damaged journal tail or corrupt store entries degrade instead.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
 		runner:  cfg.Runner,
-		store:   newJobStore(),
+		store:   newJobStore(cfg.MaxJobs),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		simSem:  make(chan struct{}, cfg.Workers),
 		closing: make(chan struct{}),
 	}
+
+	var replayed []persist.Record
+	if cfg.StateDir != "" {
+		store, err := persist.OpenStore(filepath.Join(cfg.StateDir, "store"))
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.persistStore = store
+		journal, recs, err := persist.OpenJournal(filepath.Join(cfg.StateDir, "journal.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.journal = journal
+		replayed = recs
+		if n := journal.Dropped(); n > 0 {
+			s.log.Warn("journal tail damaged; truncated to last intact record",
+				"dropped_bytes", n, "replayed", journal.Replayed())
+		}
+	}
+	if s.runner == nil {
+		opts := hybridtlb.SweepOptions{
+			Parallelism: cfg.SweepParallelism,
+			Retry:       cfg.Retry,
+			Faults:      cfg.Faults,
+		}
+		if s.persistStore != nil {
+			opts.Store = s.persistStore
+		}
+		s.runner = hybridtlb.NewSweeper(opts)
+	}
 	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, s.runJob)
+	if len(replayed) > 0 {
+		s.recover(replayed)
+	}
 
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/sweeps", s.handleCreateSweep)
@@ -151,7 +217,7 @@ func New(cfg Config) *Server {
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the server's root handler.
@@ -336,22 +402,28 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := newJob(cfgs, echoes)
+	// Journal acceptance before the job can reach a worker, so a crash
+	// at any later point leaves a request we can re-expand on restart.
+	s.journalAccepted(j, &req)
 	switch err := s.queue.submit(j); {
 	case errors.Is(err, errQueueFull):
+		s.journalState(j.id, "rejected", "")
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter.Seconds()))
 		writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
 			Message: fmt.Sprintf("sweep queue full (%d waiting); retry later", s.queue.capacity())})
 		return
 	case errors.Is(err, errQueueClosed):
+		s.journalState(j.id, "rejected", "")
 		writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: codeShuttingDown,
 			Message: "server is draining; not accepting new sweeps"})
 		return
 	case err != nil:
+		s.journalState(j.id, "rejected", "")
 		writeError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()})
 		return
 	}
-	s.store.add(j)
+	s.noteEvictions(s.store.add(j))
 	s.log.Info("sweep accepted", "job", j.id, "cells", len(cfgs), "queued", s.queue.depth())
 	writeJSON(w, http.StatusAccepted, struct {
 		ID        string `json:"id"`
@@ -361,15 +433,64 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	}{j.id, len(cfgs), "/v1/sweeps/" + j.id, "/v1/sweeps/" + j.id + "/events"})
 }
 
+// journalAccepted, journalState and noteEvictions append to the job
+// journal when one is configured; append failures are logged and
+// tolerated — durability degrades, service does not.
+func (s *Server) journalAccepted(j *job, req *SweepRequest) {
+	if s.journal == nil {
+		return
+	}
+	raw, err := json.Marshal(req)
+	if err == nil {
+		err = s.journal.Append(persist.Record{
+			Type: persist.RecordAccepted, Job: j.id, Time: time.Now().UTC(),
+			Cells: len(j.configs), Request: raw,
+		})
+	}
+	if err != nil {
+		s.log.Warn("journal append failed", "job", j.id, "err", err)
+	}
+}
+
+func (s *Server) journalState(id, state, errMsg string) {
+	if s.journal == nil {
+		return
+	}
+	err := s.journal.Append(persist.Record{
+		Type: persist.RecordState, Job: id, Time: time.Now().UTC(),
+		State: state, Error: errMsg,
+	})
+	if err != nil {
+		s.log.Warn("journal append failed", "job", id, "err", err)
+	}
+}
+
+func (s *Server) noteEvictions(ids []string) {
+	for _, id := range ids {
+		s.log.Info("sweep evicted by retention cap", "job", id)
+		if s.journal == nil {
+			continue
+		}
+		err := s.journal.Append(persist.Record{
+			Type: persist.RecordEvicted, Job: id, Time: time.Now().UTC(),
+		})
+		if err != nil {
+			s.log.Warn("journal append failed", "job", id, "err", err)
+		}
+	}
+}
+
 // runJob executes one queued sweep on a worker goroutine.
 func (s *Server) runJob(base context.Context, j *job) {
 	ctx, cancel := context.WithTimeout(base, s.cfg.JobTimeout)
 	defer cancel()
 	if !j.start(cancel) {
+		s.journalState(j.id, string(JobCanceled), "")
 		s.metrics.observeJob(JobCanceled)
 		s.log.Info("sweep canceled before start", "job", j.id)
 		return
 	}
+	s.journalState(j.id, string(JobRunning), "")
 	s.metrics.workersBusy.Add(1)
 	defer s.metrics.workersBusy.Add(-1)
 
@@ -378,6 +499,12 @@ func (s *Server) runJob(base context.Context, j *job) {
 		j.setProgress(done)
 	})
 	state := j.finish(results, err)
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	s.journalState(j.id, string(state), errMsg)
+	s.noteEvictions(s.store.enforceCap())
 	s.metrics.observeJob(state)
 
 	stats := s.runner.Stats()
@@ -401,6 +528,11 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.store.get(id)
 	if !ok {
+		if s.store.isEvicted(id) {
+			writeError(w, &apiError{Status: http.StatusGone, Code: codeGone,
+				Message: fmt.Sprintf("sweep %q was evicted by the retention cap (-max-jobs)", id)})
+			return nil, false
+		}
 		writeError(w, &apiError{Status: http.StatusNotFound, Code: codeNotFound,
 			Message: fmt.Sprintf("no sweep %q", id)})
 		return nil, false
@@ -453,6 +585,16 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	subID, wake := j.subscribe()
 	defer j.unsubscribe(subID)
 
+	// Keepalive comments on an idle ticker stop proxies and LBs from
+	// reaping streams that are quiet because a long sweep has not
+	// finished a cell lately.
+	var keepalive <-chan time.Time
+	if s.cfg.SSEKeepAlive > 0 {
+		ticker := time.NewTicker(s.cfg.SSEKeepAlive)
+		defer ticker.Stop()
+		keepalive = ticker.C
+	}
+
 	for {
 		p := j.progress()
 		if p.State.terminal() {
@@ -462,14 +604,21 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		writeSSE(w, "progress", p)
 		flusher.Flush()
-		select {
-		case <-wake:
-		case <-r.Context().Done():
-			return
-		case <-s.closing:
-			writeSSE(w, "closing", p)
-			flusher.Flush()
-			return
+	wait:
+		for {
+			select {
+			case <-wake:
+				break wait
+			case <-keepalive:
+				io.WriteString(w, ": keepalive\n\n") //nolint:errcheck // disconnect surfaces via r.Context()
+				flusher.Flush()
+			case <-r.Context().Done():
+				return
+			case <-s.closing:
+				writeSSE(w, "closing", p)
+				flusher.Flush()
+				return
+			}
 		}
 	}
 }
@@ -510,8 +659,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		cacheJobs:     stats.Jobs,
 		cacheHits:     stats.Hits,
 		cacheMisses:   stats.Misses,
+		retries:       stats.Retries,
+		evictions:     s.store.evictionCount(),
 		ready:         !s.draining.Load(),
+	}
+	if s.persistStore != nil {
+		g.store = s.persistStore.Stats()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, g)
+}
+
+// Close releases durable-state resources (the journal file); call it
+// after Drain. A server without a StateDir has nothing to close.
+func (s *Server) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
 }

@@ -66,16 +66,28 @@ func (f *fakeRunner) Stats() hybridtlb.CacheStats {
 	return f.stats
 }
 
+// mustNew builds a Server, failing the test on a construction error
+// (only possible with a -state-dir that cannot be opened).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg.Logger = discardLogger()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		s.Drain(ctx)
+		s.Close()
 	})
 	return s, ts
 }
@@ -407,7 +419,7 @@ func TestSSEProgress(t *testing.T) {
 // submissions are refused while draining.
 func TestGracefulDrain(t *testing.T) {
 	fr := &fakeRunner{}
-	s := New(Config{Workers: 1, QueueDepth: 4, Runner: fr, Logger: discardLogger()})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 4, Runner: fr, Logger: discardLogger()})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -451,7 +463,7 @@ func TestGracefulDrain(t *testing.T) {
 // checks running jobs are canceled, not abandoned.
 func TestDrainDeadlineCancelsJobs(t *testing.T) {
 	fr := &fakeRunner{block: make(chan struct{}), started: make(chan struct{}, 1)}
-	s := New(Config{Workers: 1, Runner: fr, Logger: discardLogger()})
+	s := mustNew(t, Config{Workers: 1, Runner: fr, Logger: discardLogger()})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +27,19 @@ type Options struct {
 	// DisableCache turns off result memoization; every job is simulated,
 	// including duplicates within one batch.
 	DisableCache bool
+	// Store, when non-nil, is a durable second cache level: memory
+	// misses probe it before simulating, and fresh results are written
+	// through to it. A Store miss or damaged entry falls back to
+	// simulation.
+	Store Store
+	// Retry re-runs failed cells per its policy (zero value: one
+	// attempt, no retries).
+	Retry RetryPolicy
+	// Faults, when non-nil, injects seeded chaos into every attempt.
+	Faults *FaultInjector
+	// Sleep replaces the backoff sleeper (nil: a real timer). Tests
+	// inject one to make retry delays instantaneous.
+	Sleep Sleeper
 }
 
 // CacheStats counts the engine's cache traffic across its lifetime.
@@ -36,8 +50,17 @@ type CacheStats struct {
 	// cache of an earlier batch or coalesced with an identical job in
 	// the same batch.
 	Hits int
-	// Misses counts jobs that actually simulated.
+	// Misses counts jobs that missed the in-memory cache. A miss may
+	// still be served from the durable Store (counted in StoreHits)
+	// instead of simulating.
 	Misses int
+	// StoreHits counts memory misses resolved from the durable Store.
+	StoreHits int
+	// StoreErrors counts failed write-throughs to the Store; the result
+	// is still returned and cached in memory.
+	StoreErrors int
+	// Retries counts re-run attempts after per-cell failures.
+	Retries int
 }
 
 // cached is one memoized job outcome. Failed jobs are never cached.
@@ -58,9 +81,14 @@ type Engine struct {
 	parallelism  int
 	progress     ProgressFunc
 	disableCache bool
+	store        Store
+	retry        RetryPolicy
+	faults       *FaultInjector
+	sleep        Sleeper
 
 	// runJob is the execution function; tests substitute it to inject
-	// panics, blocking and completion-order inversions.
+	// blocking and completion-order inversions (probabilistic faults
+	// belong in Options.Faults).
 	runJob func(Job) (sim.Result, sim.ChurnStats, error)
 
 	mu    sync.Mutex
@@ -74,10 +102,18 @@ func New(opts Options) *Engine {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = waitSleep
+	}
 	return &Engine{
 		parallelism:  p,
 		progress:     opts.Progress,
 		disableCache: opts.DisableCache,
+		store:        opts.Store,
+		retry:        opts.Retry.withDefaults(),
+		faults:       opts.Faults,
+		sleep:        sleep,
 		runJob:       execute,
 		cache:        make(map[string]cached),
 	}
@@ -103,20 +139,60 @@ func execute(j Job) (res sim.Result, churn sim.ChurnStats, err error) {
 	return res, sim.ChurnStats{}, err
 }
 
-// safeRun executes one job, converting a panic anywhere in the
-// simulator into a per-job error naming the job, so one failing cell
-// cannot kill the sweep.
-func (e *Engine) safeRun(j Job) (res sim.Result, churn sim.ChurnStats, err error) {
+// safeRun executes one attempt of one job, converting a panic anywhere
+// in the simulator (or injected by the fault hook) into a per-job error
+// naming the job, so one failing cell cannot kill the sweep. Panics are
+// marked Permanent: re-running a crashing cell cannot help.
+func (e *Engine) safeRun(ctx context.Context, j Job, key string, attempt int) (res sim.Result, churn sim.ChurnStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("job %s: panic: %v", j, p)
+			err = Permanent(fmt.Errorf("job %s: panic: %v", j, p))
 		}
 	}()
+	if f := e.faults.plan(key, attempt); f.delay > 0 || f.err != nil || f.panicMsg != "" {
+		if f.delay > 0 {
+			e.sleep(ctx, f.delay)
+		}
+		if f.panicMsg != "" {
+			panic(f.panicMsg)
+		}
+		if f.err != nil {
+			return res, churn, fmt.Errorf("job %s: %w", j, f.err)
+		}
+	}
 	res, churn, err = e.runJob(j)
 	if err != nil {
 		err = fmt.Errorf("job %s: %w", j, err)
 	}
 	return res, churn, err
+}
+
+// runTask resolves one unique cell: durable-store probe first, then
+// simulation with the retry policy. fromStore reports that the result
+// was loaded rather than computed (so it must not be written back).
+func (e *Engine) runTask(ctx context.Context, t *task) (res sim.Result, churn sim.ChurnStats, fromStore bool, err error) {
+	if e.store != nil && !e.disableCache {
+		if data, ok := e.store.Load(t.key); ok {
+			if c, ok := decodeEntry(data); ok {
+				e.mu.Lock()
+				e.stats.StoreHits++
+				e.mu.Unlock()
+				return c.res, c.churn, true, nil
+			}
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		res, churn, err = e.safeRun(ctx, t.job, t.key, attempt)
+		if err == nil || attempt >= e.retry.MaxAttempts || IsPermanent(err) {
+			return res, churn, false, err
+		}
+		e.mu.Lock()
+		e.stats.Retries++
+		e.mu.Unlock()
+		if !e.sleep(ctx, e.retry.delay(t.key, attempt)) {
+			return res, churn, false, ctx.Err()
+		}
+	}
 }
 
 // task is one unique simulation of a batch, fanned out to every job
@@ -179,12 +255,14 @@ func (e *Engine) RunWithProgress(ctx context.Context, jobs []Job, progress Progr
 	for i, j := range jobs {
 		j.Config = j.Config.WithDefaults()
 		results[i].Job = j
+		// The key is computed even with caching disabled: retry jitter
+		// and fault injection are both keyed by it.
+		key := j.Key()
 		if e.disableCache {
 			e.stats.Misses++
-			tasks = append(tasks, &task{job: j, positions: []int{i}})
+			tasks = append(tasks, &task{job: j, key: key, positions: []int{i}})
 			continue
 		}
-		key := j.Key()
 		if c, ok := e.cache[key]; ok {
 			e.stats.Hits++
 			results[i].Res, results[i].Churn, results[i].Cached = c.res, c.churn, true
@@ -229,14 +307,20 @@ func (e *Engine) RunWithProgress(ctx context.Context, jobs []Job, progress Progr
 					report(t.positions...)
 					continue
 				}
-				res, churn, err := e.safeRun(t.job)
+				res, churn, fromStore, err := e.runTask(ctx, t)
 				if err == nil && !e.disableCache {
 					e.mu.Lock()
 					e.cache[t.key] = cached{res: res, churn: churn}
 					e.mu.Unlock()
+					if !fromStore && e.store != nil {
+						e.writeThrough(t.key, cached{res: res, churn: churn})
+					}
 				}
 				for _, i := range t.positions {
 					results[i].Res, results[i].Churn, results[i].Err = res, churn, err
+					if fromStore {
+						results[i].Cached = true
+					}
 				}
 				report(t.positions...)
 			}
@@ -250,26 +334,47 @@ func (e *Engine) RunWithProgress(ctx context.Context, jobs []Job, progress Progr
 	return results, failures(results)
 }
 
+// writeThrough persists one fresh result to the durable store,
+// degrading to memory-only (with the error counted) on failure — a
+// full disk must not fail the sweep.
+func (e *Engine) writeThrough(key string, c cached) {
+	data, err := encodeEntry(c)
+	if err == nil {
+		err = e.store.Save(key, data)
+	}
+	if err != nil {
+		e.mu.Lock()
+		e.stats.StoreErrors++
+		e.mu.Unlock()
+	}
+}
+
 // failures aggregates per-job errors into one error naming the failed
-// jobs (nil when everything succeeded).
+// jobs (nil when everything succeeded). Every distinct error message is
+// included via errors.Join — coalesced duplicates (positions sharing a
+// failed cell) are reported once — so a multi-cell failure is fully
+// diagnosable from the returned error alone.
 func failures(results []Result) error {
-	var first error
+	var errs []error
+	seen := make(map[string]bool)
 	n := 0
 	for _, r := range results {
-		if r.Err != nil {
-			if first == nil {
-				first = r.Err
-			}
-			n++
+		if r.Err == nil {
+			continue
+		}
+		n++
+		if msg := r.Err.Error(); !seen[msg] {
+			seen[msg] = true
+			errs = append(errs, r.Err)
 		}
 	}
-	if first == nil {
+	if n == 0 {
 		return nil
 	}
 	if n == 1 {
-		return fmt.Errorf("sweep: %w", first)
+		return fmt.Errorf("sweep: %w", errs[0])
 	}
-	return fmt.Errorf("sweep: %d of %d jobs failed, first: %w", n, len(results), first)
+	return fmt.Errorf("sweep: %d of %d jobs failed: %w", n, len(results), errors.Join(errs...))
 }
 
 // Results unwraps a result slice into the bare simulation results,

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors injected by a FaultInjector, distinguishable by errors.Is so
+// chaos tests can tell injected failures from real ones.
+var (
+	ErrInjectedTransient = errors.New("injected transient fault")
+	ErrInjectedPermanent = errors.New("injected permanent fault")
+)
+
+// FaultInjector is the engine's first-class chaos hook, promoted from
+// the test-only runJob substitution: it perturbs cell execution with
+// seeded probabilistic faults. Decisions are derived by hashing
+// (Seed, job key, attempt), so a given seed produces the same fault
+// pattern on every run regardless of parallelism — which is what lets
+// chaos tests assert byte-identical recovery.
+//
+// A nil *FaultInjector injects nothing.
+type FaultInjector struct {
+	// Seed selects the fault pattern.
+	Seed int64
+	// TransientRate is the per-attempt probability of a retryable error.
+	TransientRate float64
+	// PermanentRate is the per-attempt probability of a non-retryable error.
+	PermanentRate float64
+	// PanicRate is the per-attempt probability of a panic inside the cell.
+	PanicRate float64
+	// Delay, when positive, stretches each attempt by a deterministic
+	// duration in [0, Delay) — the lever chaos tests use to widen the
+	// kill window of a running sweep.
+	Delay time.Duration
+}
+
+// fault is the injector's decision for one attempt.
+type fault struct {
+	delay    time.Duration
+	err      error
+	panicMsg string
+}
+
+// plan decides what (if anything) to inject for one attempt of one
+// cell. Panic wins over permanent over transient, so rates compose
+// predictably.
+func (f *FaultInjector) plan(key string, attempt int) fault {
+	var out fault
+	if f == nil {
+		return out
+	}
+	if f.Delay > 0 {
+		out.delay = time.Duration(hashUnit(f.Seed, key, attempt, "delay") * float64(f.Delay))
+	}
+	switch {
+	case f.PanicRate > 0 && hashUnit(f.Seed, key, attempt, "panic") < f.PanicRate:
+		out.panicMsg = "injected panic"
+	case f.PermanentRate > 0 && hashUnit(f.Seed, key, attempt, "permanent") < f.PermanentRate:
+		out.err = Permanent(ErrInjectedPermanent)
+	case f.TransientRate > 0 && hashUnit(f.Seed, key, attempt, "transient") < f.TransientRate:
+		out.err = ErrInjectedTransient
+	}
+	return out
+}

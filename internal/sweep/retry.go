@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy re-runs failed cells with capped exponential backoff.
+// Jitter is derived by hashing (Seed, job key, attempt) — not from a
+// shared RNG — so delays are reproducible and independent of worker
+// scheduling order, keeping the engine inside the tlbvet determinism
+// boundary. Retries re-run only the failed cell; successful results
+// are never recomputed, so they stay byte-identical.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per cell (0 or 1: no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps any single backoff (default 5s).
+	MaxDelay time.Duration
+	// Seed varies the jitter sequence between deployments.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// delay returns the backoff before retrying the given attempt (1-based):
+// BaseDelay doubled per attempt, multiplied by a deterministic jitter
+// factor in [0.5, 1.5), capped at MaxDelay.
+func (p RetryPolicy) delay(key string, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	jittered := time.Duration(float64(d) * (0.5 + hashUnit(p.Seed, key, attempt, "backoff")))
+	if jittered > p.MaxDelay {
+		jittered = p.MaxDelay
+	}
+	return jittered
+}
+
+// hashUnit maps (seed, key, attempt, salt) to a uniform value in
+// [0, 1). FNV-1a over the formatted tuple is cheap, stateless, and
+// deterministic — the engine's sanctioned randomness source for
+// anything that must not depend on goroutine scheduling.
+func hashUnit(seed int64, key string, attempt int, salt string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%s", seed, key, attempt, salt)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Sleeper waits for d or until ctx is done, reporting true if the full
+// delay elapsed. Tests inject one to make backoff instantaneous.
+type Sleeper func(ctx context.Context, d time.Duration) bool
+
+func waitSleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the retry loop gives up immediately; use it
+// for failures (bad config, panics) that re-running cannot fix.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}

@@ -1,0 +1,40 @@
+package sweep
+
+import (
+	"encoding/json"
+
+	"hybridtlb/internal/sim"
+)
+
+// Store is the engine's persistence seam: a durable byte store keyed
+// by the SHA-256 job key. Load reports a miss as (nil, false) — never
+// an error — so a damaged entry degrades to re-simulation. Implemented
+// by internal/persist.ResultStore; the engine layers it under the
+// in-memory cache as a write-through second level.
+type Store interface {
+	Load(key string) ([]byte, bool)
+	Save(key string, data []byte) error
+}
+
+// storedEntry is the JSON payload persisted per cell. sim.Result and
+// sim.ChurnStats carry only exported integer fields, so the round trip
+// through JSON is lossless and downstream serialization of a restored
+// result is byte-identical to a freshly simulated one.
+type storedEntry struct {
+	Result sim.Result     `json:"result"`
+	Churn  sim.ChurnStats `json:"churn"`
+}
+
+func encodeEntry(c cached) ([]byte, error) {
+	return json.Marshal(storedEntry{Result: c.res, Churn: c.churn})
+}
+
+// decodeEntry rejects undecodable payloads with ok=false; the caller
+// treats that as a store miss.
+func decodeEntry(data []byte) (cached, bool) {
+	var e storedEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return cached{}, false
+	}
+	return cached{res: e.Result, churn: e.Churn}, true
+}

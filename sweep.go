@@ -2,7 +2,9 @@ package hybridtlb
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/sweep"
@@ -23,6 +25,58 @@ type SweepOptions struct {
 	// the run: how many jobs were submitted, how many were served from
 	// the result cache and how many actually simulated.
 	Stats *CacheStats
+	// Store, when non-nil, adds a durable second cache level under the
+	// in-memory one: memory misses probe it before simulating, and
+	// fresh results are written through. Corrupt or missing entries
+	// degrade to re-simulation, never to errors.
+	Store ResultStore
+	// Retry re-runs failed cells with capped exponential backoff and
+	// deterministic seeded jitter (zero value: a single attempt).
+	// Retries only re-run failed cells, so successful results stay
+	// byte-identical.
+	Retry RetryPolicy
+	// Faults, when non-nil, injects seeded probabilistic faults into
+	// every cell attempt — the chaos-testing hook.
+	Faults *FaultInjector
+}
+
+// ResultStore is a durable byte store keyed by the sweep's SHA-256
+// content address. Load reports absent (or damaged) entries as
+// (nil, false); Save persists one entry. Implementations must be safe
+// for concurrent use. The tlbserver wires its -state-dir store in
+// through this seam.
+type ResultStore interface {
+	Load(key string) ([]byte, bool)
+	Save(key string, data []byte) error
+}
+
+// RetryPolicy controls per-cell retries. Backoff doubles from
+// BaseDelay (default 50ms) up to MaxDelay (default 5s), scaled by a
+// jitter factor in [0.5, 1.5) derived deterministically from
+// (Seed, cell key, attempt) — no shared RNG, so sweeps stay
+// reproducible under any parallelism.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per cell (0 or 1: no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff.
+	BaseDelay time.Duration
+	// MaxDelay caps any single backoff.
+	MaxDelay time.Duration
+	// Seed varies the jitter sequence.
+	Seed int64
+}
+
+// FaultInjector perturbs sweep cells with seeded, per-attempt
+// probabilistic faults: transient errors (retryable), permanent errors
+// and panics (neither is retried), and deterministic per-attempt
+// delays. Decisions hash (Seed, cell key, attempt), so a seed fully
+// determines the fault pattern.
+type FaultInjector struct {
+	Seed          int64
+	TransientRate float64
+	PermanentRate float64
+	PanicRate     float64
+	Delay         time.Duration
 }
 
 // CacheStats reports a sweep's result-cache traffic (the engine's
@@ -35,8 +89,17 @@ type CacheStats struct {
 	// of an earlier run or coalesced with an identical job in the same
 	// sweep.
 	Hits int
-	// Misses counts jobs that actually simulated.
+	// Misses counts jobs that missed the in-memory cache (a miss may
+	// still be served from the durable Store).
 	Misses int
+	// StoreHits counts memory misses resolved from the durable Store
+	// instead of simulating.
+	StoreHits int
+	// StoreErrors counts failed write-throughs to the Store (the sweep
+	// still succeeds; the result stays memory-only).
+	StoreErrors int
+	// Retries counts re-run attempts after per-cell failures.
+	Retries int
 }
 
 // HitRate returns the fraction of jobs served from the cache in [0,1].
@@ -98,9 +161,27 @@ type Sweeper struct {
 // DisableCache apply to every Run; Progress and Stats are ignored here
 // (progress is per-Run, stats come from Stats).
 func NewSweeper(opts SweepOptions) *Sweeper {
+	var faults *sweep.FaultInjector
+	if opts.Faults != nil {
+		faults = &sweep.FaultInjector{
+			Seed:          opts.Faults.Seed,
+			TransientRate: opts.Faults.TransientRate,
+			PermanentRate: opts.Faults.PermanentRate,
+			PanicRate:     opts.Faults.PanicRate,
+			Delay:         opts.Faults.Delay,
+		}
+	}
 	return &Sweeper{eng: sweep.New(sweep.Options{
 		Parallelism:  opts.Parallelism,
 		DisableCache: opts.DisableCache,
+		Store:        opts.Store,
+		Retry: sweep.RetryPolicy{
+			MaxAttempts: opts.Retry.MaxAttempts,
+			BaseDelay:   opts.Retry.BaseDelay,
+			MaxDelay:    opts.Retry.MaxDelay,
+			Seed:        opts.Retry.Seed,
+		},
+		Faults: faults,
 	})}
 }
 
@@ -108,7 +189,10 @@ func NewSweeper(opts SweepOptions) *Sweeper {
 // Run so far.
 func (s *Sweeper) Stats() CacheStats {
 	st := s.eng.Stats()
-	return CacheStats{Jobs: st.Jobs, Hits: st.Hits, Misses: st.Misses}
+	return CacheStats{
+		Jobs: st.Jobs, Hits: st.Hits, Misses: st.Misses,
+		StoreHits: st.StoreHits, StoreErrors: st.StoreErrors, Retries: st.Retries,
+	}
 }
 
 // Run executes one batch of configs with SimulateSweep semantics —
@@ -166,27 +250,32 @@ func (s *Sweeper) Run(ctx context.Context, cfgs []SimulationConfig, progress fun
 }
 
 // sweepFailures summarizes per-job errors (nil when every job
-// succeeded); after cancellation it returns the context's error.
+// succeeded); after cancellation it returns the context's error. Every
+// distinct failure message is included via errors.Join so a multi-cell
+// failure is diagnosable from the returned error alone.
 func sweepFailures(ctx context.Context, results []SweepResult) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	var first error
+	var errs []error
+	seen := make(map[string]bool)
 	n := 0
 	for _, r := range results {
-		if r.Err != nil {
-			if first == nil {
-				first = r.Err
-			}
-			n++
+		if r.Err == nil {
+			continue
+		}
+		n++
+		if msg := r.Err.Error(); !seen[msg] {
+			seen[msg] = true
+			errs = append(errs, r.Err)
 		}
 	}
 	switch {
-	case first == nil:
+	case n == 0:
 		return nil
 	case n == 1:
-		return first
+		return errs[0]
 	default:
-		return fmt.Errorf("%d of %d sweep jobs failed, first: %w", n, len(results), first)
+		return fmt.Errorf("%d of %d sweep jobs failed: %w", n, len(results), errors.Join(errs...))
 	}
 }
