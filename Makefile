@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench experiments serve lint tools
+.PHONY: check vet build test race bench bench-json experiments serve lint tools
 
 check: vet build lint race
 
@@ -31,6 +31,15 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-json runs the translation hot-path benchmark (serial vs batched
+# per scheme) and emits it as the BENCH_pipeline.json artifact:
+# ns/access, allocs/access, and iteration counts. Override BENCHTIME
+# (e.g. BENCHTIME=1000x) for a quick smoke run.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run xxx -bench BenchmarkTranslateHotPath -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_pipeline.json
 
 # Full evaluation tables/figures (cmd/experiments at default scale).
 experiments:

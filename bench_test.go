@@ -25,11 +25,14 @@ import (
 	"hybridtlb"
 	"hybridtlb/internal/core"
 	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mem"
 	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/osmem"
 	"hybridtlb/internal/report"
 	"hybridtlb/internal/server"
 	"hybridtlb/internal/sim"
 	"hybridtlb/internal/sweep"
+	"hybridtlb/internal/trace"
 	"hybridtlb/internal/workload"
 )
 
@@ -399,6 +402,136 @@ func BenchmarkAblationDetailedWalk(b *testing.B) {
 	}
 	b.ReportMetric(flatCPI, "flatWalkCPI")
 	b.ReportMetric(detailedCPI, "detailedWalkCPI")
+}
+
+// hotPathSetup builds the fixture BenchmarkTranslateHotPath drives: a
+// medium-contiguity mapping, the scheme's MMU, and a pre-generated gups
+// record buffer (the TLB worst case, so the full probe/walk/fill flow is
+// exercised) that the measured loop cycles through. All allocation
+// happens here, before the timer starts.
+func hotPathSetup(b *testing.B, scheme mmu.Scheme) (mmu.MMU, *osmem.Process, sim.Config, []trace.Record, []mem.VPN) {
+	b.Helper()
+	cfg := benchCfg(b, "gups", mapping.Medium, scheme)
+	cfg.Pressure = 0
+	cfg = cfg.WithDefaults()
+	cl, err := mapping.Generate(cfg.Scenario, mapping.Config{
+		FootprintPages: cfg.FootprintPages,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc := osmem.NewProcess(cfg.Scheme.Policy())
+	if err := proc.InstallChunks(cl, 0); err != nil {
+		b.Fatal(err)
+	}
+	m := mmu.New(cfg.Scheme, cfg.HW, proc)
+	gen := cfg.Workload.NewGenerator(cl[0].StartVPN, cfg.FootprintPages, 1<<18, cfg.Seed)
+	recs := trace.Collect(gen, 1<<18)
+	vpns := make([]mem.VPN, len(recs))
+	for i := range recs {
+		vpns[i] = recs[i].VPN
+	}
+	return m, proc, cfg, recs, vpns
+}
+
+// BenchmarkTranslateHotPath measures the simulation inner loop per
+// scheme: ns/op is nanoseconds per access and allocs/op is allocations
+// per access (the batched pipeline must hold 0). The serial variant is
+// the pre-refactor record-at-a-time drive loop — per-record warmup
+// countdown, epoch check, and virtual Translate dispatch — and the
+// batched variant is the segment-sliced TranslateBatch pipeline the
+// drive loop now runs. `make bench-json` emits these rows as
+// BENCH_pipeline.json.
+func BenchmarkTranslateHotPath(b *testing.B) {
+	const warmup = 1 << 14
+	for _, scheme := range mmu.All() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			b.Run("serial", func(b *testing.B) {
+				m, proc, cfg, recs, _ := hotPathSetup(b, scheme)
+				dynamic := cfg.Scheme.Policy().Anchors
+				var sinceEpoch uint64
+				warmLeft := uint64(warmup)
+				pos := 0
+				b.ResetTimer()
+				for done := 0; done < b.N; done++ {
+					rec := recs[pos]
+					pos++
+					if pos == len(recs) {
+						pos = 0
+					}
+					m.Translate(rec.VPN)
+					sinceEpoch += uint64(rec.Instrs)
+					if warmLeft > 0 {
+						warmLeft--
+						if warmLeft == 0 {
+							_ = m.Stats()
+						}
+					}
+					if dynamic && sinceEpoch >= cfg.EpochInstructions {
+						sinceEpoch = 0
+						proc.Reselect(cfg.SweepCost)
+					}
+				}
+			})
+			b.Run("batched", func(b *testing.B) {
+				m, proc, cfg, recs, vpns := hotPathSetup(b, scheme)
+				dynamic := cfg.Scheme.Policy().Anchors
+				var sinceEpoch uint64
+				warmLeft := uint64(warmup)
+				pos := 0
+				b.ResetTimer()
+				for done := 0; done < b.N; {
+					n := 4096
+					if rem := len(recs) - pos; n > rem {
+						n = rem
+					}
+					if n > b.N-done {
+						n = b.N - done
+					}
+					chunkEnd := pos + n
+					for start := pos; start < chunkEnd; {
+						end := chunkEnd
+						if warmLeft > 0 && uint64(end-start) > warmLeft {
+							end = start + int(warmLeft)
+						}
+						var segInstrs uint64
+						epochCrossed := false
+						if dynamic {
+							budget := cfg.EpochInstructions - sinceEpoch
+							for i := start; i < end; i++ {
+								segInstrs += uint64(recs[i].Instrs)
+								if segInstrs >= budget {
+									end = i + 1
+									epochCrossed = true
+									break
+								}
+							}
+						}
+						m.TranslateBatch(vpns[start:end])
+						if warmLeft > 0 {
+							warmLeft -= uint64(end - start)
+							if warmLeft == 0 {
+								_ = m.Stats()
+							}
+						}
+						if epochCrossed {
+							sinceEpoch = 0
+							proc.Reselect(cfg.SweepCost)
+						} else {
+							sinceEpoch += segInstrs
+						}
+						start = end
+					}
+					done += n
+					pos += n
+					if pos == len(recs) {
+						pos = 0
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkTranslatePublicAPI measures raw translation throughput through

@@ -18,10 +18,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"hybridtlb/internal/report"
+	"hybridtlb/internal/sim"
 	"hybridtlb/internal/sweep"
 )
 
@@ -46,17 +48,25 @@ func main() {
 	defer stop()
 
 	var progressFn sweep.ProgressFunc
+	var probeFn func(sweep.Job) sim.Probe
+	var epochs atomic.Uint64
 	if *progress {
 		progressFn = func(done, total int, job sweep.Job) {
-			fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d %-48.48s", done, total, job.String())
+			fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d (%d epochs) %-40.40s",
+				done, total, epochs.Load(), job.String())
 			if done == total {
 				fmt.Fprint(os.Stderr, "\r"+strings.Repeat(" ", 70)+"\r")
 			}
 		}
+		// Epoch probes make the line move during long cells, between the
+		// coarser per-cell completion updates.
+		probeFn = func(sweep.Job) sim.Probe {
+			return func(sim.ProbeSample) { epochs.Add(1) }
+		}
 	}
 	// One engine for the whole invocation: every experiment of an "all"
 	// run shares the worker pool and the result cache.
-	eng := sweep.New(sweep.Options{Parallelism: *parallel, Progress: progressFn})
+	eng := sweep.New(sweep.Options{Parallelism: *parallel, Progress: progressFn, Probe: probeFn})
 
 	opts := report.Options{
 		Accesses:        *accesses,
@@ -113,7 +123,7 @@ func main() {
 		if stats.Jobs > 0 {
 			hitRate = 100 * float64(stats.Hits) / float64(stats.Jobs)
 		}
-		fmt.Fprintf(os.Stderr, "experiments: sweep cache: %d jobs, %d hits, %d misses (%.1f%% hit rate)\n",
-			stats.Jobs, stats.Hits, stats.Misses, hitRate)
+		fmt.Fprintf(os.Stderr, "experiments: sweep cache: %d jobs, %d hits, %d misses (%.1f%% hit rate), %d epochs observed\n",
+			stats.Jobs, stats.Hits, stats.Misses, hitRate, epochs.Load())
 	}
 }

@@ -33,7 +33,9 @@ func main() {
 		static    = flag.Bool("static-ideal", false, "exhaustively search all anchor distances and report the best")
 		costModel = flag.String("cost-model", "", "distance selection cost model: entry-count (default), coverage-weighted, capacity-aware")
 		regions   = flag.Bool("multi-region", false, "per-region anchor distances (Section 4.2 extension)")
-		tracePath = flag.String("trace", "", "replay a recorded trace file (see tracegen) instead of generating accesses")
+		tracePath   = flag.String("trace", "", "replay a recorded trace file (see tracegen) instead of generating accesses")
+		epochs      = flag.Bool("epochs", false, "print one line per epoch boundary to stderr (cumulative stats, anchor distance)")
+		epochInstrs = flag.Uint64("epoch-instrs", 0, "epoch length in instructions (0: the paper's 10,000,000)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,17 @@ func main() {
 		CostModel:           *costModel,
 		MultiRegionAnchors:  *regions,
 		TracePath:           *tracePath,
+		EpochInstructions:   *epochInstrs,
+	}
+	if *epochs {
+		cfg.Probe = func(s hybridtlb.EpochSample) {
+			fmt.Fprintf(os.Stderr, "epoch %3d  %12d instrs  %12d accesses  %10d misses",
+				s.Epoch, s.Instructions, s.Stats.Accesses, s.Stats.Misses)
+			if s.AnchorDistance > 0 {
+				fmt.Fprintf(os.Stderr, "  d=%d", s.AnchorDistance)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 
 	// Ctrl-C cancels cleanly at simulation boundaries (between the

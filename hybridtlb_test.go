@@ -1,7 +1,9 @@
 package hybridtlb
 
 import (
+	"context"
 	"os"
+	"reflect"
 	"testing"
 )
 
@@ -237,6 +239,43 @@ func TestSimulateStaticIdeal(t *testing.T) {
 	}
 	if _, err := SimulateStaticIdeal(SimulationConfig{Workload: "bogus", Scenario: ScenarioLow}); err == nil {
 		t.Error("bad workload accepted")
+	}
+}
+
+// TestSimulateStaticIdealCostModel pins the serial and concurrent
+// static-ideal entry points to the same shared config builder: a
+// non-default cost model must be carried (not silently dropped, as the
+// serial path's hand-rolled sim.Config once did) and produce identical
+// results on both paths, and an invalid cost model must be rejected by
+// both.
+func TestSimulateStaticIdealCostModel(t *testing.T) {
+	cfg := SimulationConfig{
+		Workload:       "omnetpp",
+		Scenario:       ScenarioLow,
+		Accesses:       20_000,
+		FootprintPages: 1 << 13,
+		Seed:           3,
+		CostModel:      "capacity-aware",
+	}
+	serial, err := SimulateStaticIdeal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := SimulateStaticIdealContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, concurrent) {
+		t.Errorf("static-ideal paths diverged under cost model %q:\nserial:     %+v\nconcurrent: %+v",
+			cfg.CostModel, serial, concurrent)
+	}
+
+	cfg.CostModel = "bogus-model"
+	if _, err := SimulateStaticIdeal(cfg); err == nil {
+		t.Error("serial path accepted an invalid cost model")
+	}
+	if _, err := SimulateStaticIdealContext(context.Background(), cfg); err == nil {
+		t.Error("concurrent path accepted an invalid cost model")
 	}
 }
 

@@ -1,0 +1,140 @@
+// Package benchparse turns `go test -bench` text output into the
+// machine-readable benchmark artifacts the repo publishes
+// (BENCH_pipeline.json via `make bench-json`). It is a plain parser —
+// no clocks, no RNG — so it sits inside tlbvet's determinism scope:
+// the same bench output always renders the same artifact bytes.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line. Name is the full
+// slash-separated sub-benchmark path with the Benchmark prefix and the
+// -GOMAXPROCS suffix stripped (e.g. "TranslateHotPath/anchor/batched").
+type Entry struct {
+	Name        string
+	Iterations  uint64
+	NsPerOp     float64
+	BytesPerOp  uint64
+	AllocsPerOp uint64
+	// HasMem reports that the line carried -benchmem columns; without
+	// them BytesPerOp/AllocsPerOp are zero by absence, not measurement.
+	HasMem bool
+}
+
+// benchLine matches one result row of `go test -bench` output:
+//
+//	BenchmarkName/sub-8   123456   78.9 ns/op   0 B/op   0 allocs/op
+//
+// The ns/op column is mandatory; the -benchmem columns are optional.
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// Parse reads `go test -bench` output and returns every benchmark
+// result line in input order. Non-benchmark lines (the goos/goarch
+// header, PASS, ok, sub-test logs) are skipped. An input with no
+// benchmark lines at all is an error — it almost always means the bench
+// run itself failed upstream of the pipe.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		var err error
+		if e.Iterations, err = strconv.ParseUint(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchparse: iterations in %q: %w", sc.Text(), err)
+		}
+		if e.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("benchparse: ns/op in %q: %w", sc.Text(), err)
+		}
+		if m[4] != "" {
+			e.HasMem = true
+			if e.BytesPerOp, err = strconv.ParseUint(m[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("benchparse: B/op in %q: %w", sc.Text(), err)
+			}
+			if e.AllocsPerOp, err = strconv.ParseUint(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("benchparse: allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchparse: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchparse: no benchmark result lines in input")
+	}
+	return out, nil
+}
+
+// Variant is one (scheme, drive-path) cell of the pipeline report. The
+// hot-path benchmark's op is one translated access, so ns/op and
+// allocs/op are per-access figures directly.
+type Variant struct {
+	NsPerAccess     float64 `json:"ns_per_access"`
+	BytesPerAccess  uint64  `json:"bytes_per_access"`
+	AllocsPerAccess uint64  `json:"allocs_per_access"`
+	Iterations      uint64  `json:"iterations"`
+}
+
+// PipelineReport is the BENCH_pipeline.json document: per-scheme
+// serial vs batched hot-path numbers. encoding/json renders map keys
+// sorted, so the artifact bytes are deterministic for a given input.
+type PipelineReport struct {
+	Benchmark string                        `json:"benchmark"`
+	Unit      string                        `json:"unit"`
+	Schemes   map[string]map[string]Variant `json:"schemes"`
+}
+
+// pipelineBench is the benchmark Pipeline extracts, matching
+// BenchmarkTranslateHotPath's sub-benchmark tree: scheme/variant.
+const pipelineBench = "TranslateHotPath"
+
+// Pipeline distills parsed entries into the pipeline report. Every
+// entry must carry -benchmem columns (the artifact's allocs/access
+// claim is meaningless without them), and at least one
+// TranslateHotPath row must be present.
+func Pipeline(entries []Entry) (PipelineReport, error) {
+	rep := PipelineReport{
+		Benchmark: pipelineBench,
+		Unit:      "access",
+		Schemes:   make(map[string]map[string]Variant),
+	}
+	for _, e := range entries {
+		rest, ok := strings.CutPrefix(e.Name, pipelineBench+"/")
+		if !ok {
+			continue
+		}
+		scheme, variant, ok := strings.Cut(rest, "/")
+		if !ok {
+			return rep, fmt.Errorf("benchparse: %s row %q is not scheme/variant shaped", pipelineBench, e.Name)
+		}
+		if !e.HasMem {
+			return rep, fmt.Errorf("benchparse: %q has no allocation columns; run the bench with -benchmem", e.Name)
+		}
+		if rep.Schemes[scheme] == nil {
+			rep.Schemes[scheme] = make(map[string]Variant)
+		}
+		rep.Schemes[scheme][variant] = Variant{
+			NsPerAccess:     e.NsPerOp,
+			BytesPerAccess:  e.BytesPerOp,
+			AllocsPerAccess: e.AllocsPerOp,
+			Iterations:      e.Iterations,
+		}
+	}
+	if len(rep.Schemes) == 0 {
+		return rep, fmt.Errorf("benchparse: no %s rows in input", pipelineBench)
+	}
+	return rep, nil
+}

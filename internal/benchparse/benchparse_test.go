@@ -1,0 +1,104 @@
+package benchparse
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hybridtlb
+cpu: AMD EPYC 7B13
+BenchmarkSimulateAnchor-8   	       2	 512345678 ns/op
+BenchmarkTranslateHotPath/base/serial-8     	 8123456	       131.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTranslateHotPath/base/batched-8    	 9513040	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTranslateHotPath/anchor/serial-8   	 7000000	       157.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTranslateHotPath/anchor/batched-8  	 9800000	       108.4 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hybridtlb	42.1s
+`
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("parsed %d entries, want 5", len(entries))
+	}
+	if e := entries[0]; e.Name != "SimulateAnchor" || e.Iterations != 2 || e.HasMem {
+		t.Errorf("entry 0 = %+v, want SimulateAnchor without mem columns", e)
+	}
+	if e := entries[2]; e.Name != "TranslateHotPath/base/batched" ||
+		e.NsPerOp != 95.2 || e.AllocsPerOp != 0 || !e.HasMem {
+		t.Errorf("entry 2 = %+v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("input without benchmark lines parsed without error")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Pipeline(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schemes) != 2 {
+		t.Fatalf("schemes = %v, want base and anchor", rep.Schemes)
+	}
+	got := rep.Schemes["anchor"]["batched"]
+	want := Variant{NsPerAccess: 108.4, Iterations: 9_800_000}
+	if got != want {
+		t.Errorf("anchor/batched = %+v, want %+v", got, want)
+	}
+	// The unrelated SimulateAnchor row must not leak into the report.
+	if _, ok := rep.Schemes["SimulateAnchor"]; ok {
+		t.Error("non-hot-path benchmark leaked into the pipeline report")
+	}
+
+	// The artifact bytes must be stable: encoding/json sorts map keys.
+	a, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("report serialization is not deterministic")
+	}
+	if !strings.Contains(string(a), `"ns_per_access":108.4`) {
+		t.Errorf("JSON missing expected field: %s", a)
+	}
+}
+
+func TestPipelineRequiresBenchmem(t *testing.T) {
+	noMem := `BenchmarkTranslateHotPath/base/serial-8 100 131.6 ns/op
+`
+	entries, err := Parse(strings.NewReader(noMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pipeline(entries); err == nil || !strings.Contains(err.Error(), "benchmem") {
+		t.Errorf("missing -benchmem columns not rejected: %v", err)
+	}
+}
+
+func TestPipelineRejectsMalformedRow(t *testing.T) {
+	entries := []Entry{{Name: "TranslateHotPath/justscheme", HasMem: true}}
+	if _, err := Pipeline(entries); err == nil {
+		t.Error("scheme-only row not rejected")
+	}
+	if _, err := Pipeline([]Entry{{Name: "Other"}}); err == nil {
+		t.Error("input without hot-path rows not rejected")
+	}
+}

@@ -1,11 +1,22 @@
 package mmu
 
 import (
+	"math/bits"
+
 	"hybridtlb/internal/core"
 	"hybridtlb/internal/mem"
 	"hybridtlb/internal/osmem"
 	"hybridtlb/internal/tlb"
 )
+
+// anchorSet computes the L2 set an anchor entry indexes: bits [d+12,
+// d+12+N) of the virtual address, i.e. avpn/d. Distances are always
+// powers of two (core.ValidDistance), so the division is a shift — this
+// runs on every L2-missing access and a hardware DIV would dominate the
+// probe.
+func anchorSet(avpn mem.VPN, d uint64, mask uint64) int {
+	return int((uint64(avpn) >> uint(bits.TrailingZeros64(d))) & mask)
+}
 
 // anchorMMU implements the paper's hybrid TLB coalescing (Sections 3.1
 // and 3.2): 4 KiB, 2 MiB and anchor entries share the single L2 array.
@@ -61,7 +72,7 @@ func (m *anchorMMU) Invalidate(vpn mem.VPN) {
 	invalidateL2Regular(m.l2, vpn)
 	d := m.proc.DistanceAt(vpn)
 	avpn := core.AnchorVPN(vpn, d)
-	set := int((uint64(avpn) / d) & m.l2.SetMask())
+	set := anchorSet(avpn, d, m.l2.SetMask())
 	m.l2.Invalidate(set, tlb.Key(tlb.KindAnchor, uint64(avpn)))
 }
 
@@ -70,7 +81,7 @@ func (m *anchorMMU) Invalidate(vpn mem.VPN) {
 // the VPN's distance from the anchor against the entry's contiguity.
 func (m *anchorMMU) probeAnchor(vpn mem.VPN, d uint64) (e tlb.Entry, hit, covered bool) {
 	avpn := core.AnchorVPN(vpn, d)
-	set := int((uint64(avpn) / d) & m.l2.SetMask())
+	set := anchorSet(avpn, d, m.l2.SetMask())
 	e, hit = m.l2.Lookup(set, tlb.Key(tlb.KindAnchor, uint64(avpn)))
 	if !hit {
 		return e, false, false
@@ -80,8 +91,8 @@ func (m *anchorMMU) probeAnchor(vpn mem.VPN, d uint64) (e tlb.Entry, hit, covere
 
 // fillAnchor installs an anchor entry.
 func (m *anchorMMU) fillAnchor(avpn mem.VPN, appn mem.PFN, contig, d uint64) {
-	set := int((uint64(avpn) / d) & m.l2.SetMask())
-	m.l2.Insert(set, tlb.Key(tlb.KindAnchor, uint64(avpn)), tlb.Entry{
+	set := anchorSet(avpn, d, m.l2.SetMask())
+	m.l2.InsertNew(set, tlb.Key(tlb.KindAnchor, uint64(avpn)), tlb.Entry{
 		Kind: tlb.KindAnchor, VPNBase: avpn, PFNBase: appn, Contig: contig,
 	})
 }
@@ -118,7 +129,7 @@ func (m *anchorMMU) Translate(vpn mem.VPN) AccessResult {
 		}
 		// Table 2 row 3: anchor present but the VPN is outside its
 		// contiguity — walk and fill a regular entry.
-		w, walkCost := walkTimed(m.proc, vpn, m.cfg)
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
 		m.stats.Cycles += walkCost
 		if !w.present {
 			m.stats.Faults++
@@ -135,7 +146,7 @@ func (m *anchorMMU) Translate(vpn mem.VPN) AccessResult {
 	// regular entry (returned to the core first) and the anchor entry,
 	// whose PTE cache block arrives with the contiguity bits; the anchor
 	// is filled only when its contiguity covers the VPN.
-	w, walkCost := walkTimed(m.proc, vpn, m.cfg)
+	w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
 	m.stats.Cycles += walkCost
 	if !w.present {
 		m.stats.Faults++
@@ -145,10 +156,9 @@ func (m *anchorMMU) Translate(vpn mem.VPN) AccessResult {
 	avpn := core.AnchorVPN(vpn, d)
 	contig := uint64(0)
 	var appn mem.PFN
-	aw := m.proc.PageTable().Walk(avpn)
-	if aw.Present && aw.Class == mem.Class4K {
+	if apfn, aclass, _, _, present := m.proc.PageTable().WalkFast(avpn); present && aclass == mem.Class4K {
 		contig = m.proc.PageTable().AnchorContiguity(avpn, d)
-		appn = aw.PFN
+		appn = apfn
 	}
 	if core.Covered(vpn, avpn, contig) {
 		m.actions[core.ActionWalkFillAnchor]++

@@ -1,0 +1,296 @@
+package mmu
+
+import (
+	"math/bits"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/tlb"
+)
+
+// This file holds the TranslateBatch implementations: one inlined inner
+// loop per scheme, each the exact flow of the scheme's Translate minus
+// the per-access AccessResult, with statistics accumulated in locals and
+// flushed once per batch. Callers guarantee nothing flushes or remaps
+// mid-batch (the drive loop re-selects distances only at batch segment
+// boundaries), so TLB state and Stats after a batch are byte-identical
+// to translating the same VPNs one at a time — the equivalence suite in
+// batch_test.go and internal/sim pins that down for every scheme.
+
+func (m *standardMMU) TranslateBatch(vpns []mem.VPN) {
+	st := m.stats
+	for _, vpn := range vpns {
+		st.Accesses++
+		if _, ok := m.l1.lookup(vpn); ok {
+			st.L1Hits++
+			continue
+		}
+		if pfn, class, ok := probeL2(m.l2, vpn); ok {
+			st.L2RegularHits++
+			st.Cycles += m.cfg.L2HitCycles
+			m.l1.fill(vpn, pfn, class)
+			continue
+		}
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+		st.Cycles += walkCost
+		if !w.present {
+			st.Faults++
+			continue
+		}
+		st.Walks++
+		fillL2(m.l2, vpn, w)
+		m.l1.fill(vpn, w.pfn, w.class)
+	}
+	m.stats = st
+}
+
+func (m *clusterMMU) TranslateBatch(vpns []mem.VPN) {
+	st := m.stats
+	twoMB := m.scheme == Cluster2M
+	for _, vpn := range vpns {
+		st.Accesses++
+		if _, ok := m.l1.lookup(vpn); ok {
+			st.L1Hits++
+			continue
+		}
+		regularHit := false
+		if twoMB {
+			if pfn, class, ok := probeL2(m.regular, vpn); ok {
+				st.L2RegularHits++
+				st.Cycles += m.cfg.L2HitCycles
+				m.l1.fill(vpn, pfn, class)
+				regularHit = true
+			}
+		} else {
+			set := int(uint64(vpn) & m.regular.SetMask())
+			if e, ok := m.regular.Lookup(set, tlb.Key(tlb.Kind4K, uint64(vpn))); ok {
+				st.L2RegularHits++
+				st.Cycles += m.cfg.L2HitCycles
+				m.l1.fill(vpn, e.PFNBase, mem.Class4K)
+				regularHit = true
+			}
+		}
+		if regularHit {
+			continue
+		}
+		if pfn, ok := probeCluster(m.cluster, vpn); ok {
+			st.CoalescedHits++
+			st.Cycles += m.cfg.CoalescedHitCycles
+			m.l1.fill(vpn, pfn, mem.Class4K)
+			continue
+		}
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+		st.Cycles += walkCost
+		if !w.present {
+			st.Faults++
+			continue
+		}
+		st.Walks++
+		switch {
+		case w.class == mem.Class2M && twoMB:
+			fillL2(m.regular, vpn, w)
+		case w.class == mem.Class4K:
+			base, pfnBase, bitmap := scanBlock(m.proc, vpn, w.pfn)
+			if bits.OnesCount8(bitmap) > 1 {
+				set := int((uint64(vpn) / clusterBlock) & m.cluster.SetMask())
+				m.cluster.Insert(set, clusterKey(base, pfnBase), tlb.Entry{
+					Kind: tlb.KindCluster, VPNBase: base, PFNBase: pfnBase, Bitmap: bitmap,
+				})
+			} else {
+				set := int(uint64(vpn) & m.regular.SetMask())
+				m.regular.Insert(set, tlb.Key(tlb.Kind4K, uint64(vpn)), tlb.Entry{
+					Kind: tlb.Kind4K, VPNBase: vpn, PFNBase: w.pfn,
+				})
+			}
+		default:
+			// A 2 MiB mapping under the plain cluster scheme cannot
+			// happen (its policy installs no huge pages); fill nothing.
+		}
+		m.l1.fill(vpn, w.pfn, w.class)
+	}
+	m.stats = st
+}
+
+func (m *rmmMMU) TranslateBatch(vpns []mem.VPN) {
+	st := m.stats
+	for _, vpn := range vpns {
+		st.Accesses++
+		if _, ok := m.l1.lookup(vpn); ok {
+			st.L1Hits++
+			continue
+		}
+		if pfn, class, ok := probeL2(m.l2, vpn); ok {
+			st.L2RegularHits++
+			st.Cycles += m.cfg.L2HitCycles
+			m.l1.fill(vpn, pfn, class)
+			continue
+		}
+		if r, ok := m.ranges.Lookup(vpn); ok {
+			st.CoalescedHits++
+			st.Cycles += m.cfg.CoalescedHitCycles
+			m.l1.fill(vpn, r.Translate(vpn), mem.Class4K)
+			continue
+		}
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+		st.Cycles += walkCost
+		if !w.present {
+			st.Faults++
+			continue
+		}
+		st.Walks++
+		fillL2(m.l2, vpn, w)
+		if c, ok := m.proc.Chunks().Lookup(vpn); ok {
+			m.ranges.Insert(tlb.RangeEntry{StartVPN: c.StartVPN, StartPFN: c.StartPFN, Pages: c.Pages})
+		}
+		m.l1.fill(vpn, w.pfn, w.class)
+	}
+	m.stats = st
+}
+
+func (m *anchorMMU) TranslateBatch(vpns []mem.VPN) {
+	st := m.stats
+	var acts [5]uint64
+	for _, vpn := range vpns {
+		st.Accesses++
+		if _, ok := m.l1.lookup(vpn); ok {
+			st.L1Hits++
+			continue
+		}
+		d := m.proc.DistanceAt(vpn)
+		if pfn, class, ok := probeL2(m.l2, vpn); ok {
+			acts[core.ActionRegularHit]++
+			st.L2RegularHits++
+			st.Cycles += m.cfg.L2HitCycles
+			m.l1.fill(vpn, pfn, class)
+			continue
+		}
+		if e, hit, covered := m.probeAnchor(vpn, d); hit {
+			if covered {
+				acts[core.ActionAnchorHit]++
+				st.CoalescedHits++
+				st.Cycles += m.cfg.CoalescedHitCycles
+				m.l1.fill(vpn, core.TranslateViaAnchor(vpn, e.VPNBase, e.PFNBase), mem.Class4K)
+				continue
+			}
+			w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+			st.Cycles += walkCost
+			if !w.present {
+				st.Faults++
+				continue
+			}
+			acts[core.ActionFillRegular]++
+			st.Walks++
+			fillL2(m.l2, vpn, w)
+			m.l1.fill(vpn, w.pfn, w.class)
+			continue
+		}
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+		st.Cycles += walkCost
+		if !w.present {
+			st.Faults++
+			continue
+		}
+		st.Walks++
+		avpn := core.AnchorVPN(vpn, d)
+		contig := uint64(0)
+		var appn mem.PFN
+		if apfn, aclass, _, _, present := m.proc.PageTable().WalkFast(avpn); present && aclass == mem.Class4K {
+			contig = m.proc.PageTable().AnchorContiguity(avpn, d)
+			appn = apfn
+		}
+		if core.Covered(vpn, avpn, contig) {
+			acts[core.ActionWalkFillAnchor]++
+			m.fillAnchor(avpn, appn, contig, d)
+		} else {
+			acts[core.ActionWalkFillRegular]++
+			fillL2(m.l2, vpn, w)
+		}
+		m.l1.fill(vpn, w.pfn, w.class)
+	}
+	m.stats = st
+	for i, n := range acts {
+		m.actions[i] += n
+	}
+}
+
+func (m *coltMMU) TranslateBatch(vpns []mem.VPN) {
+	st := m.stats
+	for _, vpn := range vpns {
+		st.Accesses++
+		if _, ok := m.l1.lookup(vpn); ok {
+			st.L1Hits++
+			continue
+		}
+		if pfn, ok := probeCluster(m.l2, vpn); ok {
+			st.CoalescedHits++
+			st.Cycles += m.cfg.CoalescedHitCycles
+			m.l1.fill(vpn, pfn, mem.Class4K)
+			continue
+		}
+		set := int(uint64(vpn) & m.l2.SetMask())
+		if e, ok := m.l2.Lookup(set, tlb.Key(tlb.Kind4K, uint64(vpn))); ok {
+			st.L2RegularHits++
+			st.Cycles += m.cfg.L2HitCycles
+			m.l1.fill(vpn, e.PFNBase, mem.Class4K)
+			continue
+		}
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+		st.Cycles += walkCost
+		if !w.present {
+			st.Faults++
+			continue
+		}
+		st.Walks++
+		base, pfnBase, bitmap := scanBlock(m.proc, vpn, w.pfn)
+		if bits.OnesCount8(bitmap) > 1 {
+			cset := int((uint64(vpn) / clusterBlock) & m.l2.SetMask())
+			m.l2.Insert(cset, clusterKey(base, pfnBase), tlb.Entry{
+				Kind: tlb.KindCluster, VPNBase: base, PFNBase: pfnBase, Bitmap: bitmap,
+			})
+		} else {
+			fillL2(m.l2, vpn, w)
+		}
+		m.l1.fill(vpn, w.pfn, w.class)
+	}
+	m.stats = st
+}
+
+func (m *coltfaMMU) TranslateBatch(vpns []mem.VPN) {
+	st := m.stats
+	for _, vpn := range vpns {
+		st.Accesses++
+		if _, ok := m.l1.lookup(vpn); ok {
+			st.L1Hits++
+			continue
+		}
+		set := int(uint64(vpn) & m.l2.SetMask())
+		if e, ok := m.l2.Lookup(set, tlb.Key(tlb.Kind4K, uint64(vpn))); ok {
+			st.L2RegularHits++
+			st.Cycles += m.cfg.L2HitCycles
+			m.l1.fill(vpn, e.PFNBase, mem.Class4K)
+			continue
+		}
+		if r, ok := m.runs.Lookup(vpn); ok {
+			st.CoalescedHits++
+			st.Cycles += m.cfg.CoalescedHitCycles
+			m.l1.fill(vpn, r.Translate(vpn), mem.Class4K)
+			continue
+		}
+		w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
+		st.Cycles += walkCost
+		if !w.present {
+			st.Faults++
+			continue
+		}
+		st.Walks++
+		if w.class == mem.Class4K {
+			if run := m.discoverRun(vpn, w.pfn); run.Pages > 1 {
+				m.runs.Insert(run)
+			} else {
+				fillL2(m.l2, vpn, w)
+			}
+		}
+		m.l1.fill(vpn, w.pfn, w.class)
+	}
+	m.stats = st
+}

@@ -133,7 +133,7 @@ func (m *clusterMMU) Translate(vpn mem.VPN) AccessResult {
 		return AccessResult{PFN: pfn, Cycles: m.cfg.CoalescedHitCycles, Outcome: OutCoalescedHit}
 	}
 
-	w, walkCost := walkTimed(m.proc, vpn, m.cfg)
+	w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
 	m.stats.Cycles += walkCost
 	if !w.present {
 		m.stats.Faults++

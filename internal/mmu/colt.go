@@ -74,7 +74,7 @@ func (m *coltMMU) Translate(vpn mem.VPN) AccessResult {
 		return AccessResult{PFN: e.PFNBase, Cycles: m.cfg.L2HitCycles, Outcome: OutL2Hit}
 	}
 
-	w, walkCost := walkTimed(m.proc, vpn, m.cfg)
+	w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
 	m.stats.Cycles += walkCost
 	if !w.present {
 		m.stats.Faults++

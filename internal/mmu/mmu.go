@@ -218,6 +218,11 @@ type MMU interface {
 	Scheme() Scheme
 	// Translate performs one access. Unmapped VPNs report OutFault.
 	Translate(vpn mem.VPN) AccessResult
+	// TranslateBatch performs one access per VPN, in order, equivalent
+	// to calling Translate on each but without per-access results — the
+	// bulk path the batched drive loop uses. TLB state and Stats after a
+	// batch are byte-identical to the per-record path.
+	TranslateBatch(vpns []mem.VPN)
 	// Stats returns the accumulated counters.
 	Stats() Stats
 	// Flush empties every TLB level (whole-TLB shootdown).
@@ -288,13 +293,13 @@ func (l *l1) fill(vpn mem.VPN, pfn mem.PFN, class mem.PageClass) {
 	if class == mem.Class2M {
 		base := vpn.AlignDown(mem.PagesPer2M)
 		set := int((uint64(vpn) >> 9) & l.tlb2M.SetMask())
-		l.tlb2M.Insert(set, tlb.Key(tlb.Kind2M, uint64(base)), tlb.Entry{
+		l.tlb2M.InsertNew(set, tlb.Key(tlb.Kind2M, uint64(base)), tlb.Entry{
 			Kind: tlb.Kind2M, VPNBase: base, PFNBase: pfn - mem.PFN(vpn-base),
 		})
 		return
 	}
 	set := int(uint64(vpn) & l.tlb4K.SetMask())
-	l.tlb4K.Insert(set, tlb.Key(tlb.Kind4K, uint64(vpn)), tlb.Entry{
+	l.tlb4K.InsertNew(set, tlb.Key(tlb.Kind4K, uint64(vpn)), tlb.Entry{
 		Kind: tlb.Kind4K, VPNBase: vpn, PFNBase: pfn,
 	})
 }

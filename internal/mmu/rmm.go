@@ -70,7 +70,7 @@ func (m *rmmMMU) Translate(vpn mem.VPN) AccessResult {
 		return AccessResult{PFN: pfn, Cycles: m.cfg.CoalescedHitCycles, Outcome: OutCoalescedHit}
 	}
 
-	w, walkCost := walkTimed(m.proc, vpn, m.cfg)
+	w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
 	m.stats.Cycles += walkCost
 	if !w.present {
 		m.stats.Faults++

@@ -62,13 +62,13 @@ func probeL2(c *tlb.Cache, vpn mem.VPN) (mem.PFN, mem.PageClass, bool) {
 func fillL2(c *tlb.Cache, vpn mem.VPN, w walkInfo) {
 	if w.class == mem.Class2M {
 		set := int((uint64(vpn) >> 9) & c.SetMask())
-		c.Insert(set, tlb.Key(tlb.Kind2M, uint64(w.baseVPN)), tlb.Entry{
+		c.InsertNew(set, tlb.Key(tlb.Kind2M, uint64(w.baseVPN)), tlb.Entry{
 			Kind: tlb.Kind2M, VPNBase: w.baseVPN, PFNBase: w.basePFN,
 		})
 		return
 	}
 	set := int(uint64(vpn) & c.SetMask())
-	c.Insert(set, tlb.Key(tlb.Kind4K, uint64(vpn)), tlb.Entry{
+	c.InsertNew(set, tlb.Key(tlb.Kind4K, uint64(vpn)), tlb.Entry{
 		Kind: tlb.Kind4K, VPNBase: vpn, PFNBase: w.pfn,
 	})
 }
@@ -82,19 +82,17 @@ type walkInfo struct {
 	basePFN mem.PFN
 }
 
-func walk(proc *osmem.Process, vpn mem.VPN) walkInfo {
-	w := proc.PageTable().Walk(vpn)
-	return walkInfo{present: w.Present, pfn: w.PFN, class: w.Class, baseVPN: w.BaseVPN, basePFN: w.BasePFN}
-}
-
 // walkTimed performs the walk and returns its latency: the flat Table 3
-// cost, or the detailed cache+PWC model when configured.
-func walkTimed(proc *osmem.Process, vpn mem.VPN, cfg Config) (walkInfo, uint64) {
-	w := walk(proc, vpn)
+// cost, or the detailed cache+PWC model when configured. The config is
+// passed by pointer and the WalkResult is condensed in place (no helper
+// frame) because this sits on the translation hot path.
+func walkTimed(proc *osmem.Process, vpn mem.VPN, cfg *Config) (walkInfo, uint64) {
+	var wi walkInfo
+	wi.pfn, wi.class, wi.baseVPN, wi.basePFN, wi.present = proc.PageTable().WalkFast(vpn)
 	if cfg.Walk != nil {
-		return w, cfg.Walk.Cost(proc, vpn)
+		return wi, cfg.Walk.Cost(proc, vpn)
 	}
-	return w, cfg.WalkCycles
+	return wi, cfg.WalkCycles
 }
 
 func (m *standardMMU) Translate(vpn mem.VPN) AccessResult {
@@ -109,7 +107,7 @@ func (m *standardMMU) Translate(vpn mem.VPN) AccessResult {
 		m.l1.fill(vpn, pfn, class)
 		return AccessResult{PFN: pfn, Cycles: m.cfg.L2HitCycles, Outcome: OutL2Hit}
 	}
-	w, walkCost := walkTimed(m.proc, vpn, m.cfg)
+	w, walkCost := walkTimed(m.proc, vpn, &m.cfg)
 	m.stats.Cycles += walkCost
 	if !w.present {
 		m.stats.Faults++

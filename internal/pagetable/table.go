@@ -256,6 +256,40 @@ func (t *Table) Walk(vpn mem.VPN) WalkResult {
 	}
 }
 
+// WalkFast is Walk for the flat-latency translation hot path: the same
+// traversal, huge-page checks, and Walks accounting, but unrolled and
+// returning only the fields that path consumes — as scalars, so the
+// result travels in registers instead of a WalkResult copy. A zero
+// return with present == false corresponds to a non-present WalkResult.
+func (t *Table) WalkFast(vpn mem.VPN) (pfn mem.PFN, class mem.PageClass, baseVPN mem.VPN, basePFN mem.PFN, present bool) {
+	t.stats.Walks++
+	n := t.root.child[indexAt(vpn, LevelPML4)]
+	if n == nil {
+		return
+	}
+	i := indexAt(vpn, LevelPDPT)
+	if e := n.pte[i]; e.Present() && e.Huge() {
+		base := vpn.AlignDown(mem.Class1G.BasePages())
+		return e.PFN() + mem.PFN(vpn-base), mem.Class1G, base, e.PFN(), true
+	}
+	if n = n.child[i]; n == nil {
+		return
+	}
+	i = indexAt(vpn, LevelPD)
+	if e := n.pte[i]; e.Present() && e.Huge() {
+		base := vpn.AlignDown(mem.Class2M.BasePages())
+		return e.PFN() + mem.PFN(vpn-base), mem.Class2M, base, e.PFN(), true
+	}
+	if n = n.child[i]; n == nil {
+		return
+	}
+	e := n.pte[indexAt(vpn, LevelPT)]
+	if !e.Present() {
+		return
+	}
+	return e.PFN(), mem.Class4K, vpn, e.PFN(), true
+}
+
 // leafNode returns the PT-level node containing vpn's 4 KiB entry, or nil.
 func (t *Table) leafNode(vpn mem.VPN) *node {
 	n := t.root

@@ -503,3 +503,46 @@ func TestCollapse2M(t *testing.T) {
 		t.Error("collapse of absent table accepted")
 	}
 }
+
+// TestWalkFastMatchesWalk pins the unrolled hot-path walk to the
+// reference Walk over a mixed table: 4 KiB pages, 2 MiB pages, and
+// unmapped holes, probed at bases, interiors, and misses.
+func TestWalkFastMatchesWalk(t *testing.T) {
+	pt := New()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		vpn := mem.VPN(r.Uint64() % (1 << 24))
+		pt.Map4K(vpn, mem.PFN(i+1), FlagWrite)
+	}
+	for i := 0; i < 8; i++ {
+		vpn := mem.VPN(uint64(i+32) << 9)
+		if err := pt.Map2M(vpn, mem.PFN(uint64(i+64)<<9), FlagWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walksBefore := pt.Stats().Walks
+	probes := 0
+	for i := 0; i < 5_000; i++ {
+		vpn := mem.VPN(r.Uint64() % (1 << 25))
+		w := pt.Walk(vpn)
+		pfn, class, baseVPN, basePFN, present := pt.WalkFast(vpn)
+		probes += 2
+		if present != w.Present {
+			t.Fatalf("vpn %#x: present %v, Walk said %v", uint64(vpn), present, w.Present)
+		}
+		if !present {
+			if pfn != 0 || baseVPN != 0 || basePFN != 0 {
+				t.Fatalf("vpn %#x: non-zero fields on miss", uint64(vpn))
+			}
+			continue
+		}
+		if pfn != w.PFN || class != w.Class || baseVPN != w.BaseVPN || basePFN != w.BasePFN {
+			t.Fatalf("vpn %#x: WalkFast (%#x %v %#x %#x) != Walk (%#x %v %#x %#x)",
+				uint64(vpn), uint64(pfn), class, uint64(baseVPN), uint64(basePFN),
+				uint64(w.PFN), w.Class, uint64(w.BaseVPN), uint64(w.BasePFN))
+		}
+	}
+	if got := pt.Stats().Walks - walksBefore; got != uint64(probes) {
+		t.Errorf("Walks counter advanced %d, want %d (WalkFast must account like Walk)", got, probes)
+	}
+}

@@ -47,6 +47,11 @@ type job struct {
 	// the job is still queued); workers check it before running.
 	canceled atomic.Bool
 
+	// epochs counts epoch-boundary probe samples across the job's
+	// cells — a cheap liveness signal for long sweeps, incremented from
+	// simulation goroutines without taking mu.
+	epochs atomic.Uint64
+
 	mu       sync.Mutex
 	state    JobState
 	created  time.Time
@@ -216,7 +221,10 @@ type JobJSON struct {
 	Done     int        `json:"done"`
 	Total    int        `json:"total"`
 	Cached   int        `json:"cached,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	// Epochs counts epoch-boundary samples observed across the job's
+	// simulated cells (cache-served cells contribute none).
+	Epochs uint64 `json:"epochs,omitempty"`
+	Error  string `json:"error,omitempty"`
 
 	Results []SweepCellJSON `json:"results,omitempty"`
 }
@@ -232,6 +240,7 @@ func (j *job) snapshot(withResults bool) JobJSON {
 		Created: j.created,
 		Done:    j.done,
 		Total:   len(j.configs),
+		Epochs:  j.epochs.Load(),
 		Error:   j.errMsg,
 	}
 	if !j.started.IsZero() {
@@ -265,16 +274,18 @@ func (j *job) snapshot(withResults bool) JobJSON {
 // progressJSON is the payload of SSE progress events and of the
 // polling endpoint's headline fields.
 type progressJSON struct {
-	ID    string   `json:"id"`
-	State JobState `json:"state"`
-	Done  int      `json:"done"`
-	Total int      `json:"total"`
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Done   int      `json:"done"`
+	Total  int      `json:"total"`
+	Epochs uint64   `json:"epochs,omitempty"`
 }
 
 func (j *job) progress() progressJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return progressJSON{ID: j.id, State: j.state, Done: j.done, Total: len(j.configs)}
+	return progressJSON{ID: j.id, State: j.state, Done: j.done,
+		Total: len(j.configs), Epochs: j.epochs.Load()}
 }
 
 // jobStore indexes jobs by ID, preserving submission order for
@@ -398,6 +409,24 @@ func (s *jobStore) list() []JobJSON {
 	for _, id := range ids {
 		if j, ok := s.get(id); ok {
 			out = append(out, j.snapshot(false))
+		}
+	}
+	return out
+}
+
+// runningEpochs samples the epoch counters of currently running jobs
+// for the per-job metrics gauge (cardinality bounded by the worker
+// count — terminal and queued jobs are excluded).
+func (s *jobStore) runningEpochs() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64)
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		running := j.state == JobRunning
+		j.mu.Unlock()
+		if running {
+			out[id] = j.epochs.Load()
 		}
 	}
 	return out

@@ -102,6 +102,7 @@ type gauges struct {
 	cacheMisses   int
 	retries       int
 	evictions     int64
+	jobEpochs     map[string]uint64
 	store         persist.StoreStats
 	ready         bool
 }
@@ -213,6 +214,17 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP tlbserver_store_write_errors_total Failed durable-store writes (results stayed memory-only).")
 	fmt.Fprintln(w, "# TYPE tlbserver_store_write_errors_total counter")
 	fmt.Fprintf(w, "tlbserver_store_write_errors_total %d\n", g.store.WriteErrors)
+
+	fmt.Fprintln(w, "# HELP tlbserver_job_epochs Epoch-boundary samples observed so far by each running sweep job (cardinality bounded by the worker pool).")
+	fmt.Fprintln(w, "# TYPE tlbserver_job_epochs gauge")
+	jobIDs := make([]string, 0, len(g.jobEpochs))
+	for id := range g.jobEpochs {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Strings(jobIDs)
+	for _, id := range jobIDs {
+		fmt.Fprintf(w, "tlbserver_job_epochs{job=%q} %d\n", id, g.jobEpochs[id])
+	}
 
 	fmt.Fprintln(w, "# HELP tlbserver_jobs_recovered_total Terminal jobs restored from the journal at startup.")
 	fmt.Fprintln(w, "# TYPE tlbserver_jobs_recovered_total counter")

@@ -495,7 +495,19 @@ func (s *Server) runJob(base context.Context, j *job) {
 	defer s.metrics.workersBusy.Add(-1)
 
 	start := time.Now()
-	results, err := s.runner.Run(ctx, j.configs, func(done, _ int) {
+	// Attach an epoch probe to every cell the request did not claim for
+	// itself: the job's epoch counter then ticks at every simulation
+	// epoch boundary, feeding the per-job gauge and job JSON. Probes go
+	// on a copy so j.configs (shared with snapshots) stays untouched.
+	cfgs := make([]hybridtlb.SimulationConfig, len(j.configs))
+	copy(cfgs, j.configs)
+	probe := func(hybridtlb.EpochSample) { j.epochs.Add(1) }
+	for i := range cfgs {
+		if cfgs[i].Probe == nil {
+			cfgs[i].Probe = probe
+		}
+	}
+	results, err := s.runner.Run(ctx, cfgs, func(done, _ int) {
 		j.setProgress(done)
 	})
 	state := j.finish(results, err)
@@ -513,6 +525,7 @@ func (s *Server) runJob(base context.Context, j *job) {
 		"state", string(state),
 		"cells", len(j.configs),
 		"dur", time.Since(start).Round(time.Millisecond),
+		"epochs", j.epochs.Load(),
 		"cache_hits", stats.Hits,
 		"cache_misses", stats.Misses,
 	)
@@ -661,6 +674,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		cacheMisses:   stats.Misses,
 		retries:       stats.Retries,
 		evictions:     s.store.evictionCount(),
+		jobEpochs:     s.store.runningEpochs(),
 		ready:         !s.draining.Load(),
 	}
 	if s.persistStore != nil {

@@ -29,6 +29,10 @@ type fakeRunner struct {
 	stats   hybridtlb.CacheStats
 	block   chan struct{} // when non-nil, Run waits for close or ctx
 	started chan struct{} // when non-nil, signaled as each Run begins
+	// epochsPerCell, when > 0, fires that many probe samples on every
+	// config carrying a Probe, before signaling started — so tests can
+	// scrape mid-run state after the started handshake.
+	epochsPerCell int
 }
 
 func (f *fakeRunner) Run(ctx context.Context, cfgs []hybridtlb.SimulationConfig, progress func(done, total int)) ([]hybridtlb.SweepResult, error) {
@@ -37,7 +41,16 @@ func (f *fakeRunner) Run(ctx context.Context, cfgs []hybridtlb.SimulationConfig,
 	f.stats.Jobs += len(cfgs)
 	f.stats.Misses += len(cfgs)
 	block, started := f.block, f.started
+	epochs := f.epochsPerCell
 	f.mu.Unlock()
+	for _, cfg := range cfgs {
+		if cfg.Probe == nil {
+			continue
+		}
+		for e := 1; e <= epochs; e++ {
+			cfg.Probe(hybridtlb.EpochSample{Epoch: e})
+		}
+	}
 	if started != nil {
 		started <- struct{}{}
 	}
@@ -612,6 +625,56 @@ func TestMetricsShape(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestJobEpochGauge runs the epoch plumbing end to end over the HTTP
+// surface: the per-job counter ticks on probe samples, shows up in the
+// running job's metrics gauge and status document, and the gauge drops
+// the job once it is terminal (cardinality stays bounded by the pool).
+func TestJobEpochGauge(t *testing.T) {
+	fr := &fakeRunner{
+		epochsPerCell: 3,
+		block:         make(chan struct{}),
+		started:       make(chan struct{}, 1),
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: fr})
+	acc := submitSweep(t, ts, tinySweep) // two cells -> 6 epoch samples
+	<-fr.started
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := `tlbserver_job_epochs{job="` + acc.ID + `"} 6`
+	if !strings.Contains(string(body), want) {
+		t.Errorf("running-job metrics missing %q", want)
+	}
+
+	resp, err = http.Get(ts.URL + acc.StatusURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := decodeBody[JobJSON](t, resp); j.State != JobRunning || j.Epochs != 6 {
+		t.Errorf("mid-run status = %s with %d epochs, want running with 6", j.State, j.Epochs)
+	}
+
+	close(fr.block)
+	j := waitTerminal(t, ts, acc.StatusURL)
+	if j.State != JobDone || j.Epochs != 6 {
+		t.Errorf("terminal status = %s with %d epochs, want done with 6", j.State, j.Epochs)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "tlbserver_job_epochs{") {
+		t.Error("terminal job still exported in the per-job epoch gauge")
 	}
 }
 

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/trace"
+	"hybridtlb/internal/workload"
+)
+
+// equivCfg builds a small config whose boundaries deliberately avoid
+// batch alignment: warmup ends mid-batch (499 accesses) and the epoch
+// period is short enough that dynamic re-selection fires many times per
+// run, so any drift between the batched drive's segment slicing and the
+// serial per-record checks shows up.
+func equivCfg(t testing.TB, scheme mmu.Scheme, scenario mapping.Scenario, wl string) Config {
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Scheme:            scheme,
+		Workload:          spec,
+		Scenario:          scenario,
+		FootprintPages:    1 << 12,
+		Accesses:          4_999,
+		Seed:              42,
+		EpochInstructions: 1_500,
+	}
+}
+
+// TestBatchedSerialEquivalence is the cross-product golden test: every
+// scheme over every scenario must produce a byte-identical Result —
+// Stats, AnchorActions, final anchor distance, everything — through the
+// batched TranslateBatch pipeline and the record-at-a-time reference.
+func TestBatchedSerialEquivalence(t *testing.T) {
+	for _, scheme := range mmu.All() {
+		for _, scenario := range mapping.All() {
+			t.Run(fmt.Sprintf("%s/%s", scheme, scenario), func(t *testing.T) {
+				cfg := equivCfg(t, scheme, scenario, "mcf")
+				serial, err := run(cfg, driveSerial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batched, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, batched) {
+					t.Errorf("batched result diverged from serial:\nserial:  %+v\nbatched: %+v", serial, batched)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedSerialEquivalenceMultiRegion covers the per-region anchor
+// distance extension, where DistanceAt varies across the footprint.
+func TestBatchedSerialEquivalenceMultiRegion(t *testing.T) {
+	for _, scenario := range mapping.All() {
+		t.Run(scenario.String(), func(t *testing.T) {
+			cfg := equivCfg(t, mmu.Anchor, scenario, "mcf")
+			cfg.MultiRegionAnchors = true
+			serial, err := run(cfg, driveSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, batched) {
+				t.Errorf("batched result diverged from serial:\nserial:  %+v\nbatched: %+v", serial, batched)
+			}
+		})
+	}
+}
+
+// TestBatchedSerialEquivalenceReplay proves the replay path (which feeds
+// a trace.Reader's native ReadBatch into the drive) matches the serial
+// replay record for record.
+func TestBatchedSerialEquivalenceReplay(t *testing.T) {
+	spec, err := workload.ByName("gups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := spec.NewGenerator(0x4000, 1<<12, 6_000, 7)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	for _, scheme := range []mmu.Scheme{mmu.Base, mmu.Anchor, mmu.CoLT} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := equivCfg(t, scheme, mapping.Medium, "gups")
+			cfg.Accesses = 5_000 // replay bounds: warmup 500 + 5000 measured
+
+			serialR, err := trace.NewReader(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := runTrace(cfg, serialR, driveSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchedR, err := trace.NewReader(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := RunTrace(cfg, batchedR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serialR.Err() != nil || batchedR.Err() != nil {
+				t.Fatalf("reader errors: serial %v, batched %v", serialR.Err(), batchedR.Err())
+			}
+			if !reflect.DeepEqual(serial, batched) {
+				t.Errorf("replay diverged:\nserial:  %+v\nbatched: %+v", serial, batched)
+			}
+		})
+	}
+}
+
+// TestProbeEquivalence pins the Probe hook to the same firing points on
+// both drive paths: same epochs, same instruction counts, same stats
+// snapshots, same anchor distances — and identical final results whether
+// or not a probe is attached (observation must be free).
+func TestProbeEquivalence(t *testing.T) {
+	for _, scheme := range []mmu.Scheme{mmu.Anchor, mmu.Base} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			base := equivCfg(t, scheme, mapping.Low, "mcf")
+
+			plain, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var serialSamples, batchedSamples []ProbeSample
+			cfg := base
+			cfg.Probe = func(s ProbeSample) { serialSamples = append(serialSamples, s) }
+			serial, err := run(cfg, driveSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Probe = func(s ProbeSample) { batchedSamples = append(batchedSamples, s) }
+			batched, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(serialSamples) == 0 {
+				t.Fatal("probe never fired; epoch period too long for the test trace")
+			}
+			if !reflect.DeepEqual(serialSamples, batchedSamples) {
+				t.Errorf("probe samples diverged:\nserial:  %+v\nbatched: %+v", serialSamples, batchedSamples)
+			}
+			if !reflect.DeepEqual(serial, batched) {
+				t.Errorf("results with probe diverged:\nserial:  %+v\nbatched: %+v", serial, batched)
+			}
+			if !reflect.DeepEqual(plain, batched) {
+				t.Errorf("attaching a probe changed the result:\nplain:  %+v\nprobed: %+v", plain, batched)
+			}
+		})
+	}
+}
+
+// TestWarmupOnBatchBoundary exercises the corner where the warmup
+// boundary lands exactly on a batch edge and where warmup exceeds one
+// batch, both of which take different paths through the segment slicer.
+func TestWarmupOnBatchBoundary(t *testing.T) {
+	for _, warm := range []uint64{batchRecords, batchRecords + 1, 2*batchRecords + 17, 1} {
+		t.Run(fmt.Sprintf("warm=%d", warm), func(t *testing.T) {
+			cfg := equivCfg(t, mmu.Anchor, mapping.Medium, "gups")
+			cfg.Accesses = 3 * batchRecords
+			cfg.WarmupAccesses = warm
+			serial, err := run(cfg, driveSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, batched) {
+				t.Errorf("warmup=%d diverged:\nserial:  %+v\nbatched: %+v", warm, serial, batched)
+			}
+		})
+	}
+}

@@ -16,6 +16,10 @@ import (
 // default; Accesses and WarmupAccesses bound and split the replay
 // (Accesses 0 replays everything after warmup).
 func RunTrace(cfg Config, src trace.Source) (Result, error) {
+	return runTrace(cfg, src, drive)
+}
+
+func runTrace(cfg Config, src trace.Source, driveFn driveFunc) (Result, error) {
 	cfg = cfg.withDefaults()
 
 	cl, err := mapping.Generate(cfg.Scenario, mapping.Config{
@@ -48,7 +52,7 @@ func RunTrace(cfg Config, src trace.Source) (Result, error) {
 	if cfg.Accesses > 0 {
 		bounded = trace.Limit(src, cfg.WarmupAccesses+cfg.Accesses)
 	}
-	drive(m, proc, bounded, cfg, &res)
+	driveFn(m, proc, bounded, cfg, &res)
 
 	res.HugePages = proc.HugePages()
 	res.AnchorDistance = proc.AnchorDistance()

@@ -11,11 +11,34 @@ import (
 
 	"hybridtlb/internal/core"
 	"hybridtlb/internal/mapping"
+	"hybridtlb/internal/mem"
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/osmem"
 	"hybridtlb/internal/trace"
 	"hybridtlb/internal/workload"
 )
+
+// ProbeSample is one per-epoch observation delivered to a Probe: the
+// cumulative state of the run when an epoch boundary was crossed.
+type ProbeSample struct {
+	// Epoch counts boundaries crossed so far, starting at 1.
+	Epoch int
+	// Instructions retired since the start of the run (warmup included).
+	Instructions uint64
+	// Stats are the MMU's cumulative counters (warmup included).
+	Stats mmu.Stats
+	// AnchorDistance is the process anchor distance after any
+	// re-selection this boundary triggered (anchor-family schemes;
+	// 0 for schemes without anchors).
+	AnchorDistance uint64
+}
+
+// Probe observes epoch boundaries. It runs outside the per-access inner
+// loop — once per EpochInstructions — so observability never costs the
+// hot path anything. Probes fire on every scheme (for non-anchor schemes
+// the boundary triggers no re-selection, only the observation) and must
+// not mutate simulation state; they are excluded from sweep cache keys.
+type Probe func(ProbeSample)
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -59,6 +82,11 @@ type Config struct {
 	// DetailedWalk replaces the flat 50-cycle walk latency with the
 	// cache+PWC walk model (an ablation of the Table 3 assumption).
 	DetailedWalk bool
+
+	// Probe, when non-nil, is called at every epoch boundary with a
+	// snapshot of the run. Purely observational: it never changes
+	// results, and the sweep engine excludes it from cache keys.
+	Probe Probe
 }
 
 // WithDefaults returns the config with every zero field replaced by its
@@ -165,8 +193,15 @@ func (r Result) L2Breakdown() (regular, coalesced, miss float64) {
 		float64(r.Stats.Misses()) * inv
 }
 
+// driveFunc pushes a trace through an MMU; drive is the production
+// batched implementation, driveSerial the record-at-a-time reference the
+// equivalence suite compares it against.
+type driveFunc func(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Result)
+
 // Run executes one simulation.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (Result, error) { return run(cfg, drive) }
+
+func run(cfg Config, driveFn driveFunc) (Result, error) {
 	cfg = cfg.withDefaults()
 
 	cl, err := mapping.Generate(cfg.Scenario, mapping.Config{
@@ -204,7 +239,7 @@ func Run(cfg Config) (Result, error) {
 		Chunks:   len(cl),
 	}
 
-	drive(m, proc, gen, cfg, &res)
+	driveFn(m, proc, gen, cfg, &res)
 
 	res.HugePages = proc.HugePages()
 	res.AnchorDistance = proc.AnchorDistance()
@@ -217,14 +252,122 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// drive pushes the trace through the MMU, resetting counters after warmup
-// and running the periodic distance re-selection.
+// batchRecords is the drive loop's batch size: large enough to amortize
+// the per-batch bookkeeping to nothing, small enough that the record and
+// VPN buffers (96 KiB together) stay cache-resident.
+const batchRecords = 4096
+
+// drive pushes the trace through the MMU in batches, resetting counters
+// after warmup and running the periodic distance re-selection. Each batch
+// is sliced into segments that stop exactly where the per-record loop
+// would act — at the warmup boundary (counted in accesses) and at each
+// epoch boundary (counted in instructions) — so the per-access warmup
+// countdown and epoch check live here, at segment granularity, instead of
+// inside the translation inner loop. Results are byte-identical to
+// driveSerial: the equivalence suite holds the two paths together.
 func drive(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Result) {
-	dynamic := cfg.Scheme.Policy().Anchors && cfg.FixedDistance == 0
+	anchors := cfg.Scheme.Policy().Anchors
+	dynamic := anchors && cfg.FixedDistance == 0
+	trackEpochs := dynamic || cfg.Probe != nil
+	bs := trace.Batched(src)
+
+	recs := make([]trace.Record, batchRecords)
+	vpns := make([]mem.VPN, batchRecords)
+
+	var instructions, sinceEpoch uint64
+	warmLeft := cfg.WarmupAccesses
+	var warmStats mmu.Stats
+	var warmInstr uint64
+	epoch := 0
+
+	for {
+		n := bs.ReadBatch(recs)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			vpns[i] = recs[i].VPN
+		}
+		for start := 0; start < n; {
+			// The segment ends at the batch end, the warmup boundary, or
+			// the first record that crosses the epoch threshold —
+			// whichever comes first. The serial loop checks warmup before
+			// the epoch on each record, and both after translating it;
+			// applying the warmup snapshot first below preserves that
+			// order when one record is both boundaries.
+			end := n
+			if warmLeft > 0 && uint64(end-start) > warmLeft {
+				end = start + int(warmLeft)
+			}
+			var segInstrs uint64
+			epochCrossed := false
+			if trackEpochs {
+				// sinceEpoch < EpochInstructions holds here (it resets on
+				// every crossing), so the budget is at least one.
+				budget := cfg.EpochInstructions - sinceEpoch
+				for i := start; i < end; i++ {
+					segInstrs += uint64(recs[i].Instrs)
+					if segInstrs >= budget {
+						end = i + 1
+						epochCrossed = true
+						break
+					}
+				}
+			} else {
+				for i := start; i < end; i++ {
+					segInstrs += uint64(recs[i].Instrs)
+				}
+			}
+
+			m.TranslateBatch(vpns[start:end])
+			instructions += segInstrs
+
+			if warmLeft > 0 {
+				warmLeft -= uint64(end - start)
+				if warmLeft == 0 {
+					warmStats = m.Stats()
+					warmInstr = instructions
+				}
+			}
+			if epochCrossed {
+				sinceEpoch = 0
+				if dynamic {
+					proc.Reselect(cfg.SweepCost)
+				}
+				if cfg.Probe != nil {
+					epoch++
+					d := uint64(0)
+					if anchors {
+						d = proc.AnchorDistance()
+					}
+					cfg.Probe(ProbeSample{
+						Epoch:          epoch,
+						Instructions:   instructions,
+						Stats:          m.Stats(),
+						AnchorDistance: d,
+					})
+				}
+			} else {
+				sinceEpoch += segInstrs
+			}
+			start = end
+		}
+	}
+	res.Stats = subStats(m.Stats(), warmStats)
+	res.Instructions = instructions - warmInstr
+}
+
+// driveSerial is the original record-at-a-time loop, kept as the golden
+// reference: the batched drive above must produce byte-identical results.
+// Only the equivalence tests call it.
+func driveSerial(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Result) {
+	anchors := cfg.Scheme.Policy().Anchors
+	dynamic := anchors && cfg.FixedDistance == 0
 	var instructions, sinceEpoch uint64
 	var warmLeft = cfg.WarmupAccesses
 	var warmStats mmu.Stats
 	var warmInstr uint64
+	epoch := 0
 
 	for {
 		rec, ok := src.Next()
@@ -242,9 +385,24 @@ func drive(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Re
 				warmInstr = instructions
 			}
 		}
-		if dynamic && sinceEpoch >= cfg.EpochInstructions {
+		if (dynamic || cfg.Probe != nil) && sinceEpoch >= cfg.EpochInstructions {
 			sinceEpoch = 0
-			proc.Reselect(cfg.SweepCost)
+			if dynamic {
+				proc.Reselect(cfg.SweepCost)
+			}
+			if cfg.Probe != nil {
+				epoch++
+				d := uint64(0)
+				if anchors {
+					d = proc.AnchorDistance()
+				}
+				cfg.Probe(ProbeSample{
+					Epoch:          epoch,
+					Instructions:   instructions,
+					Stats:          m.Stats(),
+					AnchorDistance: d,
+				})
+			}
 		}
 	}
 	res.Stats = subStats(m.Stats(), warmStats)

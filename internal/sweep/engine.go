@@ -40,6 +40,13 @@ type Options struct {
 	// Sleep replaces the backoff sleeper (nil: a real timer). Tests
 	// inject one to make retry delays instantaneous.
 	Sleep Sleeper
+	// Probe, when non-nil, builds a per-cell epoch observer: each job
+	// whose Config.Probe is nil gets Probe(job) attached before it is
+	// simulated. Probes fire only for cells actually simulated — results
+	// served from the in-memory cache or the durable Store replay no
+	// epochs — and a retried cell re-fires its epochs on every attempt.
+	// Probe funcs never affect results or cache keys.
+	Probe func(Job) sim.Probe
 }
 
 // CacheStats counts the engine's cache traffic across its lifetime.
@@ -85,6 +92,7 @@ type Engine struct {
 	retry        RetryPolicy
 	faults       *FaultInjector
 	sleep        Sleeper
+	probe        func(Job) sim.Probe
 
 	// runJob is the execution function; tests substitute it to inject
 	// blocking and completion-order inversions (probabilistic faults
@@ -114,6 +122,7 @@ func New(opts Options) *Engine {
 		retry:        opts.Retry.withDefaults(),
 		faults:       opts.Faults,
 		sleep:        sleep,
+		probe:        opts.Probe,
 		runJob:       execute,
 		cache:        make(map[string]cached),
 	}
@@ -181,8 +190,12 @@ func (e *Engine) runTask(ctx context.Context, t *task) (res sim.Result, churn si
 			}
 		}
 	}
+	job := t.job
+	if e.probe != nil && job.Config.Probe == nil {
+		job.Config.Probe = e.probe(job)
+	}
 	for attempt := 1; ; attempt++ {
-		res, churn, err = e.safeRun(ctx, t.job, t.key, attempt)
+		res, churn, err = e.safeRun(ctx, job, t.key, attempt)
 		if err == nil || attempt >= e.retry.MaxAttempts || IsPermanent(err) {
 			return res, churn, false, err
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -91,6 +92,70 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 		if j.Key() == base.Key() {
 			t.Errorf("%s change did not change the key", name)
 		}
+	}
+}
+
+// TestEngineProbe pins the Options.Probe factory contract: called once
+// per simulated cell (never for coalesced duplicates), never overriding
+// a job's own Config.Probe, and free — attaching probes leaves every
+// result byte-identical.
+func TestEngineProbe(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Base.EpochInstructions = 10_000 // several epochs per 10k-access job
+	jobs := spec.Jobs()
+	jobs = append(jobs, jobs[0]) // coalesced duplicate: no factory call
+
+	plain, err := New(Options{Parallelism: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	factory := map[string]int{}
+	samples := map[string]int{}
+	var own atomic.Int64
+	eng := New(Options{Parallelism: 4, Probe: func(j Job) sim.Probe {
+		key := j.Key()
+		mu.Lock()
+		factory[key]++
+		mu.Unlock()
+		return func(sim.ProbeSample) {
+			mu.Lock()
+			samples[key]++
+			mu.Unlock()
+		}
+	}})
+	// One job carries its own probe; the factory must not replace it.
+	// A fresh seed makes it a distinct cell (a duplicate key would be
+	// coalesced and fire nothing).
+	ownJob := jobs[1]
+	ownJob.Config.Seed += 100
+	ownJob.Config.Probe = func(sim.ProbeSample) { own.Add(1) }
+	probed := append(append([]Job{}, jobs...), ownJob)
+
+	res, err := eng.Run(context.Background(), probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Res, res[i].Res) {
+			t.Errorf("job %d: probe changed the result", i)
+		}
+	}
+	for i, j := range jobs[:len(jobs)-1] {
+		key := j.Key()
+		if factory[key] != 1 {
+			t.Errorf("job %d: factory called %d times, want 1", i, factory[key])
+		}
+		if samples[key] == 0 {
+			t.Errorf("job %d: probe never fired", i)
+		}
+	}
+	if own.Load() == 0 {
+		t.Error("job-supplied probe never fired")
+	}
+	if n := factory[ownJob.Key()]; n != 0 {
+		t.Errorf("factory called %d times for a job with its own probe", n)
 	}
 }
 

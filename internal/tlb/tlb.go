@@ -48,9 +48,10 @@ func (k EntryKind) String() string {
 	}
 }
 
-// Entry is one translation record.
+// Entry is one translation record. The word-sized fields lead so the
+// struct packs into 32 bytes; a whole L2 set then spans two cache lines
+// instead of four, which matters because every lookup scans the set.
 type Entry struct {
-	Kind EntryKind
 	// VPNBase is the first VPN the entry covers (page base for 4K/2M,
 	// anchor VPN for anchors, 8-aligned block base for clusters).
 	VPNBase mem.VPN
@@ -58,6 +59,7 @@ type Entry struct {
 	PFNBase mem.PFN
 	// Contig is the anchor contiguity in pages (anchor entries only).
 	Contig uint64
+	Kind   EntryKind
 	// Bitmap marks which of the 8 block offsets a cluster entry covers
 	// (cluster entries only).
 	Bitmap uint8
@@ -65,17 +67,20 @@ type Entry struct {
 
 // Cache is a set-associative TLB with true-LRU replacement within a set.
 // The zero value is unusable; call NewCache.
+//
+// Storage is split into parallel per-way arrays rather than an
+// array-of-structs: the match scan touches only keys (8 bytes per way, so
+// an 8-way set's tags fit in a single cache line) and victim selection
+// touches only lrus; the 32-byte Entry payload is read or written once,
+// on a hit. An lru of 0 marks an invalid way — the clock is incremented
+// before every stamp, so live ways always carry lru >= 1, and zeroing a
+// way (Invalidate, Flush) is exactly the invalid encoding.
 type Cache struct {
 	sets, ways int
-	lines      []line
+	keys       []uint64
+	lrus       []uint64
+	entries    []Entry
 	clock      uint64
-}
-
-type line struct {
-	valid bool
-	key   uint64
-	lru   uint64
-	entry Entry
 }
 
 // NewCache creates a cache with the given geometry. sets must be a power
@@ -87,7 +92,14 @@ func NewCache(sets, ways int) *Cache {
 	if ways <= 0 {
 		panic(fmt.Sprintf("tlb: ways %d must be positive", ways))
 	}
-	return &Cache{sets: sets, ways: ways, lines: make([]line, sets*ways)}
+	n := sets * ways
+	return &Cache{
+		sets:    sets,
+		ways:    ways,
+		keys:    make([]uint64, n),
+		lrus:    make([]uint64, n),
+		entries: make([]Entry, n),
+	}
 }
 
 // Sets returns the number of sets.
@@ -112,11 +124,12 @@ func Key(kind EntryKind, tag uint64) uint64 {
 // hit.
 func (c *Cache) Lookup(set int, key uint64) (Entry, bool) {
 	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].key == key {
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	for i := range keys {
+		if keys[i] == key && c.lrus[base+i] != 0 {
 			c.clock++
-			c.lines[i].lru = c.clock
-			return c.lines[i].entry, true
+			c.lrus[base+i] = c.clock
+			return c.entries[base+i], true
 		}
 	}
 	return Entry{}, false
@@ -128,11 +141,12 @@ func (c *Cache) Lookup(set int, key uint64) (Entry, bool) {
 // need two entries with different physical bases) probe with this.
 func (c *Cache) LookupWhere(set int, match func(Entry) bool) (Entry, bool) {
 	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && match(c.lines[i].entry) {
+	lrus := c.lrus[base : base+c.ways : base+c.ways]
+	for i := range lrus {
+		if lrus[i] != 0 && match(c.entries[base+i]) {
 			c.clock++
-			c.lines[i].lru = c.clock
-			return c.lines[i].entry, true
+			lrus[i] = c.clock
+			return c.entries[base+i], true
 		}
 	}
 	return Entry{}, false
@@ -141,9 +155,10 @@ func (c *Cache) LookupWhere(set int, match func(Entry) bool) (Entry, bool) {
 // Peek is Lookup without the LRU update (used by tests and stats probes).
 func (c *Cache) Peek(set int, key uint64) (Entry, bool) {
 	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].key == key {
-			return c.lines[i].entry, true
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	for i := range keys {
+		if keys[i] == key && c.lrus[base+i] != 0 {
+			return c.entries[base+i], true
 		}
 	}
 	return Entry{}, false
@@ -154,29 +169,74 @@ func (c *Cache) Peek(set int, key uint64) (Entry, bool) {
 // the evicted entry, if any.
 func (c *Cache) Insert(set int, key uint64, e Entry) (Entry, bool) {
 	base := set * c.ways
-	victim := base
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].key == key {
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	lrus := c.lrus[base : base+c.ways : base+c.ways]
+	// victim selection: an exact key match wins, else the first invalid
+	// way, else true LRU. vLRU shadows lrus[victim] (0 = invalid way held)
+	// so the scan reads each way once.
+	victim := 0
+	vLRU := lrus[0]
+	for i := range keys {
+		li := lrus[i]
+		if li != 0 && keys[i] == key {
 			victim = i
 			break
 		}
-		if !c.lines[i].valid {
-			if c.lines[victim].valid {
-				victim = i
+		if li == 0 {
+			if vLRU != 0 {
+				victim, vLRU = i, 0
 			}
 			continue
 		}
-		if c.lines[victim].valid && c.lines[i].lru < c.lines[victim].lru {
-			victim = i
+		if vLRU != 0 && li < vLRU {
+			victim, vLRU = i, li
 		}
 	}
 	var evicted Entry
-	hadVictim := c.lines[victim].valid && c.lines[victim].key != key
+	hadVictim := lrus[victim] != 0 && keys[victim] != key
 	if hadVictim {
-		evicted = c.lines[victim].entry
+		evicted = c.entries[base+victim]
 	}
 	c.clock++
-	c.lines[victim] = line{valid: true, key: key, lru: c.clock, entry: e}
+	keys[victim] = key
+	lrus[victim] = c.clock
+	c.entries[base+victim] = e
+	return evicted, hadVictim
+}
+
+// InsertNew is Insert for callers that know the key is not in the set —
+// every fill that follows a missed lookup of the same key. The victim is
+// then the first invalid way if any, else the LRU way: exactly what
+// Insert selects when its key-match scan cannot fire, so the two are
+// interchangeable whenever the key is absent. Skipping the match scan
+// keeps the probe loop to one array and lets it stop at the first free
+// way.
+func (c *Cache) InsertNew(set int, key uint64, e Entry) (Entry, bool) {
+	base := set * c.ways
+	lrus := c.lrus[base : base+c.ways : base+c.ways]
+	victim := 0
+	vLRU := lrus[0]
+	if vLRU != 0 {
+		for i := 1; i < len(lrus); i++ {
+			li := lrus[i]
+			if li == 0 {
+				victim, vLRU = i, 0
+				break
+			}
+			if li < vLRU {
+				victim, vLRU = i, li
+			}
+		}
+	}
+	var evicted Entry
+	hadVictim := vLRU != 0
+	if hadVictim {
+		evicted = c.entries[base+victim]
+	}
+	c.clock++
+	c.keys[base+victim] = key
+	lrus[victim] = c.clock
+	c.entries[base+victim] = e
 	return evicted, hadVictim
 }
 
@@ -184,9 +244,12 @@ func (c *Cache) Insert(set int, key uint64, e Entry) (Entry, bool) {
 // whether it was present.
 func (c *Cache) Invalidate(set int, key uint64) bool {
 	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].key == key {
-			c.lines[i] = line{}
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	for i := range keys {
+		if keys[i] == key && c.lrus[base+i] != 0 {
+			keys[i] = 0
+			c.lrus[base+i] = 0
+			c.entries[base+i] = Entry{}
 			return true
 		}
 	}
@@ -198,10 +261,13 @@ func (c *Cache) Invalidate(set int, key uint64) bool {
 // that cannot be addressed by exact key).
 func (c *Cache) InvalidateWhere(set int, match func(Entry) bool) int {
 	base := set * c.ways
+	lrus := c.lrus[base : base+c.ways : base+c.ways]
 	n := 0
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && match(c.lines[i].entry) {
-			c.lines[i] = line{}
+	for i := range lrus {
+		if lrus[i] != 0 && match(c.entries[base+i]) {
+			c.keys[base+i] = 0
+			lrus[i] = 0
+			c.entries[base+i] = Entry{}
 			n++
 		}
 	}
@@ -211,17 +277,17 @@ func (c *Cache) InvalidateWhere(set int, match func(Entry) bool) int {
 // Flush empties the cache (whole-TLB shootdown, as the OS performs after an
 // anchor distance change).
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
-	}
+	clear(c.keys)
+	clear(c.lrus)
+	clear(c.entries)
 }
 
 // Occupancy returns the number of valid entries, optionally filtered by
 // kind (pass nil for all). Used by utilization statistics and tests.
 func (c *Cache) Occupancy(want func(Entry) bool) int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid && (want == nil || want(c.lines[i].entry)) {
+	for i, lru := range c.lrus {
+		if lru != 0 && (want == nil || want(c.entries[i])) {
 			n++
 		}
 	}

@@ -69,3 +69,80 @@ func FuzzReaderRobustness(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadBatchEquivalence feeds arbitrary bytes — valid traces and
+// corrupt ones alike — to two readers over the same stream and demands
+// that ReadBatch, driven with a fuzzed slice size, yields exactly the
+// records Next yields, including the final partial batch before a
+// mid-stream decode error, and that both readers settle on the same
+// Err() state.
+func FuzzReadBatchEquivalence(f *testing.F) {
+	valid := func(recs []Record) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	whole := valid([]Record{
+		{VPN: 0x10000, Instrs: 3, Write: true},
+		{VPN: 0x10007, Instrs: 1},
+		{VPN: 0x0fff0, Instrs: 9, Write: true},
+	})
+	f.Add(whole, uint8(2))
+	f.Add(whole[:len(whole)-1], uint8(1)) // truncated mid-record
+	f.Add(whole[:len(whole)-2], uint8(7))
+	f.Add([]byte("HTLBTRC1\x02\x08"), uint8(3))
+	f.Add([]byte("garbage"), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, size uint8) {
+		serial, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad header: fine, both constructors see the same bytes
+		}
+		batched, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second reader rejected the same header: %v", err)
+		}
+		n := int(size%16) + 1
+		dst := make([]Record, n)
+		var got []Record
+		for len(got) < 100_000 {
+			k := batched.ReadBatch(dst)
+			if k == 0 {
+				break
+			}
+			got = append(got, dst[:k]...)
+		}
+		for i := 0; ; i++ {
+			rec, ok := serial.Next()
+			if !ok {
+				if i != len(got) {
+					t.Fatalf("ReadBatch yielded %d records, Next yielded %d", len(got), i)
+				}
+				break
+			}
+			if i >= len(got) {
+				t.Fatalf("Next yielded record %d (%+v) past ReadBatch's %d", i, rec, len(got))
+			}
+			if got[i] != rec {
+				t.Fatalf("record %d: ReadBatch %+v != Next %+v", i, got[i], rec)
+			}
+		}
+		serr, berr := serial.Err(), batched.Err()
+		if (serr == nil) != (berr == nil) {
+			t.Fatalf("error states diverged: serial %v, batched %v", serr, berr)
+		}
+		if serr != nil && serr.Error() != berr.Error() {
+			t.Fatalf("error messages diverged: serial %q, batched %q", serr, berr)
+		}
+	})
+}

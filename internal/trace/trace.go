@@ -33,6 +33,42 @@ type Source interface {
 	Next() (Record, bool)
 }
 
+// BatchSource is a Source that can also fill whole record batches, the
+// interface the batched simulation pipeline consumes. ReadBatch stores up
+// to len(dst) records into dst and returns how many it stored; it may
+// return fewer than requested mid-stream, and returns 0 only when the
+// stream is exhausted (or len(dst) is 0). Interleaving Next and ReadBatch
+// calls is legal: both consume the same underlying position.
+type BatchSource interface {
+	Source
+	ReadBatch(dst []Record) int
+}
+
+// Batched adapts any Source to a BatchSource: sources with a native
+// ReadBatch are returned as-is, legacy sources get a wrapper that fills
+// batches through Next.
+func Batched(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &nextBatcher{src: src}
+}
+
+type nextBatcher struct{ src Source }
+
+func (b *nextBatcher) Next() (Record, bool) { return b.src.Next() }
+
+func (b *nextBatcher) ReadBatch(dst []Record) int {
+	for n := range dst {
+		r, ok := b.src.Next()
+		if !ok {
+			return n
+		}
+		dst[n] = r
+	}
+	return len(dst)
+}
+
 // SliceSource replays records from memory.
 type SliceSource struct {
 	records []Record
@@ -54,15 +90,27 @@ func (s *SliceSource) Next() (Record, bool) {
 	return r, true
 }
 
+// ReadBatch implements BatchSource.
+func (s *SliceSource) ReadBatch(dst []Record) int {
+	n := copy(dst, s.records[s.pos:])
+	s.pos += n
+	return n
+}
+
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
-// Limit wraps a source, truncating it after n records.
-func Limit(src Source, n uint64) Source { return &limitSource{src: src, left: n} }
+// Limit wraps a source, truncating it after n records. The result is a
+// BatchSource (batching through the wrapped source's native ReadBatch
+// when it has one).
+func Limit(src Source, n uint64) BatchSource {
+	return &limitSource{src: src, batch: Batched(src), left: n}
+}
 
 type limitSource struct {
-	src  Source
-	left uint64
+	src   Source
+	batch BatchSource
+	left  uint64
 }
 
 func (l *limitSource) Next() (Record, bool) {
@@ -71,6 +119,16 @@ func (l *limitSource) Next() (Record, bool) {
 	}
 	l.left--
 	return l.src.Next()
+}
+
+// ReadBatch implements BatchSource.
+func (l *limitSource) ReadBatch(dst []Record) int {
+	if l.left < uint64(len(dst)) {
+		dst = dst[:l.left]
+	}
+	n := l.batch.ReadBatch(dst)
+	l.left -= uint64(n)
+	return n
 }
 
 // Collect drains up to n records from a source into a slice (n == 0 drains
@@ -180,5 +238,36 @@ func (t *Reader) Next() (Record, bool) {
 	return Record{VPN: vpn, Instrs: uint32(packed >> 1), Write: packed&1 != 0}, true
 }
 
-// Err reports a decoding error encountered by Next, if any.
+// ReadBatch implements BatchSource. A mid-stream decode error ends the
+// final (possibly partial) batch exactly as Next ends the stream: the
+// records decoded before the bad byte are returned, the error is
+// reported by Err, and every later call returns 0.
+func (t *Reader) ReadBatch(dst []Record) int {
+	if t.err != nil {
+		return 0
+	}
+	prev := t.prevVPN
+	for n := range dst {
+		delta, err := binary.ReadVarint(t.r)
+		if err != nil {
+			if err != io.EOF {
+				t.err = err
+			}
+			t.prevVPN = prev
+			return n
+		}
+		packed, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("trace: truncated record: %w", err)
+			t.prevVPN = prev
+			return n
+		}
+		prev = mem.VPN(int64(prev) + delta)
+		dst[n] = Record{VPN: prev, Instrs: uint32(packed >> 1), Write: packed&1 != 0}
+	}
+	t.prevVPN = prev
+	return len(dst)
+}
+
+// Err reports a decoding error encountered by Next or ReadBatch, if any.
 func (t *Reader) Err() error { return t.err }

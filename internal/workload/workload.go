@@ -237,3 +237,27 @@ func (g *Generator) Next() (trace.Record, bool) {
 		Write:  g.r.Float64() < g.spec.WriteFraction,
 	}, true
 }
+
+// ReadBatch implements trace.BatchSource. It draws from the RNG in
+// exactly Next's order (instruction gap, then pattern, then write draw),
+// so a batched trace is record-for-record identical to a serial one.
+func (g *Generator) ReadBatch(dst []trace.Record) int {
+	mean := g.spec.MeanInstrsPerAccess
+	writeFrac := g.spec.WriteFraction
+	for n := range dst {
+		if g.remaining == 0 {
+			return n
+		}
+		g.remaining--
+		instrs := uint32(1)
+		if mean > 1 {
+			instrs = uint32(1 + g.r.Intn(2*mean-1))
+		}
+		dst[n] = trace.Record{
+			VPN:    g.base + mem.VPN(g.pat.next()),
+			Instrs: instrs,
+			Write:  g.r.Float64() < writeFrac,
+		}
+	}
+	return len(dst)
+}

@@ -69,6 +69,28 @@ type SimulationConfig struct {
 	// cmd/tracegen) instead of generating the workload's accesses; the
 	// Workload field then only names the footprint defaults.
 	TracePath string
+	// EpochInstructions overrides the epoch period in instructions — the
+	// dynamic anchor re-selection interval and the Probe sampling period
+	// (0: the paper's 10,000,000).
+	EpochInstructions uint64
+	// Probe, when non-nil, observes the simulation at every epoch
+	// boundary (anchor re-selection period): cumulative stats and the
+	// current anchor distance. Purely observational — attaching a probe
+	// never changes the result — and excluded from sweep result-cache
+	// keys, so a config served from the cache fires no samples.
+	Probe func(EpochSample) `json:"-"`
+}
+
+// EpochSample is one epoch-boundary observation delivered to a
+// SimulationConfig.Probe: the state of the run after Epoch re-selection
+// periods (1-based), with cumulative counters including warmup.
+type EpochSample struct {
+	Epoch        int
+	Instructions uint64
+	Stats        Stats
+	// AnchorDistance is the process-wide anchor distance after any
+	// re-selection at this boundary (anchor scheme; 0 otherwise).
+	AnchorDistance uint64
 }
 
 // SimulationResult reports one simulation in the paper's metrics.
@@ -128,6 +150,17 @@ func (cfg SimulationConfig) toSimConfig() (sim.Config, mmu.Config, error) {
 		return sim.Config{}, mmu.Config{}, err
 	}
 	hw := cfg.Hardware.toConfig()
+	var probe sim.Probe
+	if p := cfg.Probe; p != nil {
+		probe = func(s sim.ProbeSample) {
+			p(EpochSample{
+				Epoch:          s.Epoch,
+				Instructions:   s.Instructions,
+				Stats:          toPublicStats(s.Stats),
+				AnchorDistance: s.AnchorDistance,
+			})
+		}
+	}
 	return sim.Config{
 		Scheme:             scheme,
 		Workload:           spec,
@@ -138,8 +171,10 @@ func (cfg SimulationConfig) toSimConfig() (sim.Config, mmu.Config, error) {
 		Seed:               cfg.Seed,
 		Pressure:           cfg.Pressure,
 		FixedDistance:      cfg.FixedAnchorDistance,
+		EpochInstructions:  cfg.EpochInstructions,
 		CostModel:          costModel,
 		MultiRegionAnchors: cfg.MultiRegionAnchors,
+		Probe:              probe,
 	}, hw, nil
 }
 
@@ -193,29 +228,34 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 	return toSimulationResult(res, hw), nil
 }
 
+// staticIdealSimConfig assembles the probe configuration both
+// static-ideal entry points share: the anchor scheme with dynamic
+// selection enabled (each probe then pins its own distance) and the
+// multi-region extension cleared, since per-region distances play no
+// role under a fixed process-wide distance. Routing through toSimConfig
+// keeps every field — notably CostModel, which a hand-rolled sim.Config
+// here once silently dropped — validated and carried identically on the
+// serial and concurrent paths.
+func (cfg SimulationConfig) staticIdealSimConfig() (sim.Config, mmu.Config, error) {
+	cfg.Scheme = SchemeAnchor
+	cfg.FixedAnchorDistance = 0
+	simCfg, hw, err := cfg.toSimConfig()
+	if err != nil {
+		return sim.Config{}, mmu.Config{}, err
+	}
+	simCfg.MultiRegionAnchors = false
+	return simCfg, hw, nil
+}
+
 // SimulateStaticIdeal exhaustively evaluates every anchor distance and
 // returns the best-performing run — the paper's "static ideal"
 // configuration. The scheme is forced to the anchor scheme.
 func SimulateStaticIdeal(cfg SimulationConfig) (SimulationResult, error) {
-	spec, err := workload.ByName(cfg.Workload)
+	simCfg, hw, err := cfg.staticIdealSimConfig()
 	if err != nil {
 		return SimulationResult{}, err
 	}
-	scenario, err := mapping.ParseScenario(cfg.Scenario)
-	if err != nil {
-		return SimulationResult{}, err
-	}
-	hw := cfg.Hardware.toConfig()
-	best, _, err := sim.RunStaticIdeal(sim.Config{
-		Scheme:         mmu.Anchor,
-		Workload:       spec,
-		Scenario:       scenario,
-		HW:             hw,
-		FootprintPages: cfg.FootprintPages,
-		Accesses:       cfg.Accesses,
-		Seed:           cfg.Seed,
-		Pressure:       cfg.Pressure,
-	})
+	best, _, err := sim.RunStaticIdeal(simCfg)
 	if err != nil {
 		return SimulationResult{}, err
 	}
@@ -231,15 +271,10 @@ func SimulateStaticIdealContext(ctx context.Context, cfg SimulationConfig) (Simu
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg.Scheme = SchemeAnchor
-	cfg.FixedAnchorDistance = 0
-	simCfg, hw, err := cfg.toSimConfig()
+	simCfg, hw, err := cfg.staticIdealSimConfig()
 	if err != nil {
 		return SimulationResult{}, err
 	}
-	// Match the serial path, which builds its probe config from scratch:
-	// the dynamic-selection knobs play no role under a fixed distance.
-	simCfg.MultiRegionAnchors = false
 	probes, err := sim.StaticIdealConfigs(simCfg)
 	if err != nil {
 		return SimulationResult{}, err
@@ -255,6 +290,19 @@ func SimulateStaticIdealContext(ctx context.Context, cfg SimulationConfig) (Simu
 	return toSimulationResult(sim.BestStaticIdeal(sweep.Results(results)), hw), nil
 }
 
+// toPublicStats converts the internal per-scheme counters to the public
+// Stats shape (shared by results and epoch probe samples).
+func toPublicStats(s mmu.Stats) Stats {
+	return Stats{
+		Accesses:      s.Accesses,
+		L1Hits:        s.L1Hits,
+		L2RegularHits: s.L2RegularHits,
+		CoalescedHits: s.CoalescedHits,
+		Misses:        s.Misses(),
+		Cycles:        s.Cycles,
+	}
+}
+
 func toSimulationResult(res sim.Result, hw mmu.Config) SimulationResult {
 	cpi := res.CPI(hw)
 	reg, coal, miss := res.L2Breakdown()
@@ -262,14 +310,7 @@ func toSimulationResult(res sim.Result, hw mmu.Config) SimulationResult {
 		Scheme:   res.Scheme.String(),
 		Workload: res.Workload,
 		Scenario: res.Scenario.String(),
-		Stats: Stats{
-			Accesses:      res.Stats.Accesses,
-			L1Hits:        res.Stats.L1Hits,
-			L2RegularHits: res.Stats.L2RegularHits,
-			CoalescedHits: res.Stats.CoalescedHits,
-			Misses:        res.Stats.Misses(),
-			Cycles:        res.Stats.Cycles,
-		},
+		Stats:    toPublicStats(res.Stats),
 		Instructions:           res.Instructions,
 		TranslationCPI:         cpi.Total(),
 		CPIRegularHit:          cpi.L2Hit,

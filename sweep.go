@@ -38,6 +38,15 @@ type SweepOptions struct {
 	// Faults, when non-nil, injects seeded probabilistic faults into
 	// every cell attempt — the chaos-testing hook.
 	Faults *FaultInjector
+	// Probe, when non-nil, observes epoch boundaries of every config in
+	// the sweep that does not carry its own SimulationConfig.Probe; the
+	// first argument is the config's index in the submitted slice.
+	// Samples fire only for configs actually simulated: a config served
+	// from the result cache — including one coalesced with an identical
+	// earlier config in the same sweep — replays no epochs. Calls arrive
+	// concurrently from the worker pool; the observer must be
+	// goroutine-safe.
+	Probe func(config int, s EpochSample)
 }
 
 // ResultStore is a durable byte store keyed by the sweep's SHA-256
@@ -154,11 +163,12 @@ func SimulateSweep(ctx context.Context, cfgs []SimulationConfig, opts SweepOptio
 // requests, a re-submitted grid — is simulated once per Sweeper.
 // A Sweeper is safe for concurrent use.
 type Sweeper struct {
-	eng *sweep.Engine
+	eng   *sweep.Engine
+	probe func(config int, s EpochSample)
 }
 
-// NewSweeper creates a Sweeper. The options' Parallelism and
-// DisableCache apply to every Run; Progress and Stats are ignored here
+// NewSweeper creates a Sweeper. The options' Parallelism, DisableCache
+// and Probe apply to every Run; Progress and Stats are ignored here
 // (progress is per-Run, stats come from Stats).
 func NewSweeper(opts SweepOptions) *Sweeper {
 	var faults *sweep.FaultInjector
@@ -171,7 +181,7 @@ func NewSweeper(opts SweepOptions) *Sweeper {
 			Delay:         opts.Faults.Delay,
 		}
 	}
-	return &Sweeper{eng: sweep.New(sweep.Options{
+	return &Sweeper{probe: opts.Probe, eng: sweep.New(sweep.Options{
 		Parallelism:  opts.Parallelism,
 		DisableCache: opts.DisableCache,
 		Store:        opts.Store,
@@ -215,6 +225,10 @@ func (s *Sweeper) Run(ctx context.Context, cfgs []SimulationConfig, progress fun
 		if cfg.TracePath != "" {
 			results[i].Err = fmt.Errorf("hybridtlb: sweep job %d: TracePath replay is not supported in SimulateSweep", i)
 			continue
+		}
+		if s.probe != nil && cfg.Probe == nil {
+			idx, probe := i, s.probe
+			cfg.Probe = func(es EpochSample) { probe(idx, es) }
 		}
 		simCfg, hw, err := cfg.toSimConfig()
 		if err != nil {

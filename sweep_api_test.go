@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -58,6 +59,78 @@ func TestSimulateSweepMatchesSimulate(t *testing.T) {
 	if calls != len(cfgs) || lastDone != len(cfgs) || lastTotal != len(cfgs) {
 		t.Errorf("progress: %d calls, final %d/%d, want %d/%d/%d",
 			calls, lastDone, lastTotal, len(cfgs), len(cfgs), len(cfgs))
+	}
+}
+
+func TestSweepProbe(t *testing.T) {
+	cfgs := []SimulationConfig{
+		{Scheme: SchemeAnchor, Workload: "mcf", Scenario: "low",
+			Accesses: 30_000, FootprintPages: 1 << 12, Seed: 7,
+			EpochInstructions: 20_000},
+		{Scheme: SchemeBase, Workload: "gups", Scenario: "demand",
+			Accesses: 30_000, FootprintPages: 1 << 12, Seed: 7,
+			EpochInstructions: 20_000},
+	}
+	// The duplicate is cache-served and must fire no samples.
+	cfgs = append(cfgs, cfgs[0])
+
+	var mu sync.Mutex
+	samples := map[int][]EpochSample{}
+	swept, err := SimulateSweep(context.Background(), cfgs, SweepOptions{
+		Parallelism: 2,
+		Probe: func(config int, s EpochSample) {
+			mu.Lock()
+			samples[config] = append(samples[config], s)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		got := samples[i]
+		if len(got) == 0 {
+			t.Fatalf("config %d fired no epoch samples", i)
+		}
+		for j, s := range got {
+			if s.Epoch != j+1 {
+				t.Errorf("config %d sample %d: epoch %d, want %d", i, j, s.Epoch, j+1)
+			}
+			if s.Stats.Accesses == 0 {
+				t.Errorf("config %d sample %d: zero accesses in snapshot", i, j)
+			}
+			if j > 0 && s.Instructions <= got[j-1].Instructions {
+				t.Errorf("config %d sample %d: instructions did not advance (%d -> %d)",
+					i, j, got[j-1].Instructions, s.Instructions)
+			}
+		}
+	}
+	if last := samples[0][len(samples[0])-1]; last.AnchorDistance == 0 {
+		t.Error("anchor-scheme sample reports zero anchor distance")
+	}
+	for _, s := range samples[1] {
+		if s.AnchorDistance != 0 {
+			t.Errorf("base-scheme sample reports anchor distance %d", s.AnchorDistance)
+		}
+	}
+	if len(samples[2]) != 0 {
+		t.Errorf("cache-served duplicate fired %d samples", len(samples[2]))
+	}
+	if !swept[2].Cached {
+		t.Error("duplicate config was not served from the cache")
+	}
+
+	// Observation must be free: probed results match plain Simulate.
+	for i, cfg := range cfgs {
+		serial, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, swept[i].SimulationResult) {
+			t.Errorf("config %d differs from serial Simulate:\n%+v\nvs\n%+v",
+				i, serial, swept[i].SimulationResult)
+		}
 	}
 }
 
