@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json experiments serve lint tools
+.PHONY: check vet build test race fabric-test bench bench-json experiments serve lint tools
 
-check: vet build lint race
+check: vet build lint race fabric-test
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fabric-test runs the distributed-sweep convergence check: a real
+# coordinator plus three tlbworker processes, one SIGKILLed mid-sweep;
+# results must stay byte-identical to a single-process run.
+fabric-test:
+	$(GO) test -race -run TestFabricCrashRecoveryKill9 -count=1 ./internal/server/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -4,9 +4,16 @@
 // bounded worker pool, a server-lifetime result cache, Prometheus-text
 // /metrics, health/readiness probes and graceful drain on SIGTERM.
 //
+// With -coordinator it additionally runs the distributed sweep fabric:
+// an RPC endpoint that shards sweep cells across tlbworker processes,
+// with heartbeat membership, work stealing, and dead-worker recovery.
+// Sweeps then execute across the fleet and assemble from the shared
+// content-addressed store — byte-identical to local execution.
+//
 // Examples:
 //
 //	tlbserver -addr :8080 -workers 2 -queue 4
+//	tlbserver -addr :8080 -state-dir /var/lib/tlbserver -coordinator :9090
 //	curl -s localhost:8080/v1/simulate -d '{"scheme":"anchor","workload":"gups","scenario":"medium"}'
 //	curl -s localhost:8080/v1/sweeps -d '{"schemes":["base","anchor"],"workloads":["gups"],"scenarios":["demand","medium"]}'
 package main
@@ -17,13 +24,18 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"hybridtlb"
+	"hybridtlb/internal/buildinfo"
+	"hybridtlb/internal/fabric"
+	"hybridtlb/internal/persist"
 	"hybridtlb/internal/server"
 )
 
@@ -45,8 +57,23 @@ func main() {
 		chaosSeed    = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection")
 		chaosDelay   = flag.Duration("chaos-delay", 0, "max injected per-cell delay (testing only)")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "prune the durable result store oldest-first past this size after each job (0: unbounded)")
+		coordinator   = flag.String("coordinator", "", "fabric RPC listen address; enables distributed sweeps (requires -state-dir)")
+		fabricTick    = flag.Duration("fabric-tick", 250*time.Millisecond, "fabric clock period (lease TTLs etc. count these ticks)")
+		fabricDead    = flag.Int("fabric-dead-after", 12, "heartbeat-silent ticks before a worker is declared dead")
+		fabricTTL     = flag.Int("fabric-lease-ttl", 2400, "ticks before an outstanding lease expires")
+		fabricSteal   = flag.Int("fabric-steal-after", 40, "lease age in ticks before an idle worker may steal the cell")
+		fabricFall    = flag.Int("fabric-fallback-after", 20, "ticks with zero live workers before pending cells resolve locally")
+		fabricRetries = flag.Int("fabric-remote-attempts", 2, "remote failures per cell before it resolves locally")
+		showVersion   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -64,7 +91,7 @@ func main() {
 		log.Warn("fault injection enabled", "rate", *chaos, "seed", *chaosSeed, "delay", *chaosDelay)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		SweepParallelism: *sweepPar,
@@ -74,10 +101,49 @@ func main() {
 		MaxSweepJobs:     *maxCells,
 		MaxJobs:          *maxJobs,
 		StateDir:         *stateDir,
+		StoreMaxBytes:    *storeMaxBytes,
 		Retry:            hybridtlb.RetryPolicy{MaxAttempts: *retries, Seed: *chaosSeed},
 		Faults:           faults,
 		Logger:           log,
-	})
+	}
+
+	// Coordinator mode: open the shared store up front, run sweeps
+	// through the fabric, and expose fabric metrics on /metrics. The
+	// store is the result transport, so -state-dir is mandatory here.
+	var coord *fabric.Coordinator
+	if *coordinator != "" {
+		if *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "tlbserver: -coordinator requires -state-dir (the shared store is the fabric's result transport)")
+			os.Exit(2)
+		}
+		store, err := persist.OpenStore(filepath.Join(*stateDir, "store"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbserver:", err)
+			os.Exit(1)
+		}
+		coord, err = fabric.NewCoordinator(fabric.Config{
+			Store:              store,
+			Version:            buildinfo.Version(),
+			LeaseTTLTicks:      *fabricTTL,
+			DeadAfterTicks:     *fabricDead,
+			StealAfterTicks:    *fabricSteal,
+			FallbackAfterTicks: *fabricFall,
+			MaxRemoteAttempts:  *fabricRetries,
+			SweepParallelism:   *sweepPar,
+			Retry:              hybridtlb.RetryPolicy{MaxAttempts: *retries, Seed: *chaosSeed},
+			Faults:             faults,
+			Logger:             log,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbserver:", err)
+			os.Exit(1)
+		}
+		cfg.PersistStore = store
+		cfg.Runner = coord
+		cfg.ExtraMetrics = coord.WriteMetrics
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tlbserver:", err)
 		os.Exit(1)
@@ -93,6 +159,40 @@ func main() {
 	defer stop()
 
 	errCh := make(chan error, 1)
+
+	// Fabric side: RPC listener for workers plus the ticker goroutine
+	// that advances the coordinator's clock (the coordinator itself is
+	// clock-free; all lease timing counts these ticks).
+	var fabricLn net.Listener
+	if coord != nil {
+		var err error
+		fabricLn, err = net.Listen("tcp", *coordinator)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbserver:", err)
+			os.Exit(1)
+		}
+		svc := fabric.NewService(coord)
+		go func() {
+			log.Info("fabric coordinator listening",
+				"addr", fabricLn.Addr().String(), "tick", *fabricTick, "version", buildinfo.Version())
+			if err := svc.Serve(fabricLn); err != nil {
+				errCh <- fmt.Errorf("fabric: %w", err)
+			}
+		}()
+		go func() {
+			t := time.NewTicker(*fabricTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					coord.Tick()
+				}
+			}
+		}()
+	}
+
 	go func() {
 		log.Info("tlbserver listening", "addr", *addr, "workers", *workers, "queue", *queueDepth)
 		errCh <- httpSrv.ListenAndServe()
@@ -111,6 +211,11 @@ func main() {
 	// listener stays up — clients can still poll their results during
 	// the drain. Only then close the HTTP side.
 	log.Info("signal received; draining", "timeout", *drainTimeout)
+	if fabricLn != nil {
+		if err := fabricLn.Close(); err != nil {
+			log.Warn("closing fabric listener", "err", err)
+		}
+	}
 	srv.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"hybridtlb"
+	"hybridtlb/internal/buildinfo"
 )
 
 func main() {
@@ -36,8 +37,14 @@ func main() {
 		tracePath   = flag.String("trace", "", "replay a recorded trace file (see tracegen) instead of generating accesses")
 		epochs      = flag.Bool("epochs", false, "print one line per epoch boundary to stderr (cumulative stats, anchor distance)")
 		epochInstrs = flag.Uint64("epoch-instrs", 0, "epoch length in instructions (0: the paper's 10,000,000)")
+		showVersion = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	cfg := hybridtlb.SimulationConfig{
 		Scheme:              *scheme,

@@ -1,0 +1,113 @@
+// Command tlbworker is a fabric execution node: it registers with a
+// tlbserver running in coordinator mode, pulls sweep-cell leases over
+// RPC, runs each through the local simulation engine, and uploads the
+// content-addressed result payload. Workers are stateless (an optional
+// local store is purely a cache), so they can be killed and restarted
+// freely — the coordinator re-enqueues whatever they were holding.
+//
+// Examples:
+//
+//	tlbworker -coordinator localhost:9090
+//	tlbworker -coordinator coord.example:9090 -name rack3-a -store-dir /var/cache/tlbworker
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridtlb"
+	"hybridtlb/internal/buildinfo"
+	"hybridtlb/internal/fabric"
+	"hybridtlb/internal/persist"
+)
+
+func main() {
+	var (
+		coordinator   = flag.String("coordinator", "", "fabric coordinator RPC address (required)")
+		name          = flag.String("name", "", "advisory worker name; empty lets the coordinator assign one")
+		parallel      = flag.Int("parallel", 0, "concurrency inside one cell's simulation (0: GOMAXPROCS)")
+		storeDir      = flag.String("store-dir", "", "local content-addressed artifact cache (empty: none)")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "prune the local cache oldest-first past this size (0: unbounded)")
+		heartbeat     = flag.Duration("heartbeat", time.Second, "coordinator liveness ping interval")
+		poll          = flag.Duration("poll", 250*time.Millisecond, "idle wait between lease requests")
+		retries       = flag.Int("retries", 1, "attempts per cell before its error is reported to the coordinator")
+		chaos         = flag.Float64("chaos", 0, "fault-injection rate [0,1) for transient cell failures (testing only)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection")
+		chaosDelay    = flag.Duration("chaos-delay", 0, "max injected per-cell delay (testing only)")
+		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		showVersion   = flag.Bool("version", false, "print the build identity and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "tlbworker: -coordinator is required")
+		os.Exit(2)
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	var store *persist.ResultStore
+	if *storeDir != "" {
+		var err error
+		store, err = persist.OpenStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbworker:", err)
+			os.Exit(1)
+		}
+	}
+
+	var faults *hybridtlb.FaultInjector
+	if *chaos > 0 || *chaosDelay > 0 {
+		faults = &hybridtlb.FaultInjector{
+			Seed:          *chaosSeed,
+			TransientRate: *chaos,
+			Delay:         *chaosDelay,
+		}
+		log.Warn("fault injection enabled", "rate", *chaos, "seed", *chaosSeed, "delay", *chaosDelay)
+	}
+
+	w, err := fabric.NewWorker(fabric.WorkerConfig{
+		Coordinator:   *coordinator,
+		Name:          *name,
+		Version:       buildinfo.Version(),
+		Parallelism:   *parallel,
+		Store:         store,
+		StoreMaxBytes: *storeMaxBytes,
+		Retry:         hybridtlb.RetryPolicy{MaxAttempts: *retries, Seed: *chaosSeed},
+		Faults:        faults,
+		Heartbeat:     *heartbeat,
+		Poll:          *poll,
+		Logger:        log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlbworker:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Info("tlbworker starting",
+		"coordinator", *coordinator, "name", *name, "version", buildinfo.Version())
+	err = w.Run(ctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "tlbworker:", err)
+		os.Exit(1)
+	}
+	log.Info("tlbworker exited cleanly", "cells", w.Cells())
+}

@@ -1,0 +1,60 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func info(version string, settings ...debug.BuildSetting) *debug.BuildInfo {
+	return &debug.BuildInfo{
+		Main:     debug.Module{Version: version},
+		Settings: settings,
+	}
+}
+
+func TestFromBuildInfo(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		want string
+	}{
+		{"no metadata", info(""), "devel"},
+		{"devel marker", info("(devel)"), "devel"},
+		{
+			"devel with revision",
+			info("(devel)", debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"}),
+			"devel+0123456789ab",
+		},
+		{
+			"devel dirty",
+			info("(devel)",
+				debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				debug.BuildSetting{Key: "vcs.modified", Value: "true"}),
+			"devel+0123456789ab.dirty",
+		},
+		{
+			// Newer toolchains stamp the revision into the
+			// pseudo-version; it must not be appended a second time.
+			"pseudo-version already carries the revision",
+			info("v0.0.0-20260808204712-0123456789ab+dirty",
+				debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				debug.BuildSetting{Key: "vcs.modified", Value: "true"}),
+			"v0.0.0-20260808204712-0123456789ab+dirty",
+		},
+		{
+			"tagged release",
+			info("v1.2.3", debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"}),
+			"v1.2.3+0123456789ab",
+		},
+		{
+			"label-breaking characters sanitized",
+			info("v1\"2\n3"),
+			"v1_2_3",
+		},
+	}
+	for _, tc := range cases {
+		if got := fromBuildInfo(tc.bi); got != tc.want {
+			t.Errorf("%s: fromBuildInfo = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}

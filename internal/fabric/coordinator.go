@@ -1,0 +1,667 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+
+	"hybridtlb"
+	"hybridtlb/internal/persist"
+)
+
+// Coordinator shards sweep cells across registered workers and
+// assembles results from the shared store. It implements the server's
+// Runner seam (Run + Stats), so the HTTP layer is oblivious to whether
+// sweeps execute in-process or across a fleet.
+//
+// All mutable state sits behind one mutex; nothing blocking happens
+// under it (store I/O and progress callbacks run outside). Timing is
+// tick-based — see the package comment.
+type Coordinator struct {
+	cfg     Config
+	store   *persist.ResultStore
+	sweeper *hybridtlb.Sweeper
+	log     *slog.Logger
+
+	mu        sync.Mutex
+	tick      uint64
+	zeroSince uint64 // tick when the live-worker count last reached zero (0: fleet non-empty)
+	seq       int
+	leaseSeq  uint64
+	workers   map[string]*workerState
+	cells     map[string]*cell
+	queue     []string // FIFO of cell keys awaiting a lease
+	queued    map[string]bool
+	leases    map[uint64]*lease
+	counters  counters
+}
+
+type counters struct {
+	granted, stolen, reenqueued, expired uint64
+	uploads, uploadErrors                uint64
+	remoteFailed, localFallback          uint64
+	rejected                             uint64
+}
+
+type workerState struct {
+	id, name, version string
+	dead              bool
+	lastBeat          uint64
+	leases            int
+}
+
+// cell is one distinct sweep cell the fabric is working on, shared by
+// every run that wants its key.
+type cell struct {
+	key      string
+	config   []byte // JSON-encoded hybridtlb.SimulationConfig for the wire
+	leases   int    // outstanding leases (≤ 2: original + one steal)
+	attempts int    // remote failures so far
+	resolved bool   // uploaded to the store, or deferred to local assembly
+	runs     []*run
+}
+
+type lease struct {
+	id      uint64
+	key     string
+	worker  string
+	granted uint64 // tick of grant
+	stolen  bool
+}
+
+// run tracks one Run call's interest in a set of cells during the
+// distribution phase.
+type run struct {
+	pending  map[string]int // cell key -> configs in this run mapping to it
+	resolved int            // configs whose cell has resolved
+	total    int
+	progress func(done, total int)
+	done     chan struct{}
+	closed   bool
+}
+
+// notify is a progress callback captured under the lock and fired
+// outside it.
+type notify struct {
+	fn          func(done, total int)
+	done, total int
+}
+
+func fire(ns []notify) {
+	for _, n := range ns {
+		if n.fn != nil {
+			n.fn(n.done, n.total)
+		}
+	}
+}
+
+// NewCoordinator builds a Coordinator over the shared result store.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fabric: Config.Store is required (it is the result transport)")
+	}
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		cfg:   cfg,
+		store: cfg.Store,
+		log:   cfg.Logger,
+		sweeper: hybridtlb.NewSweeper(hybridtlb.SweepOptions{
+			Parallelism: cfg.SweepParallelism,
+			Store:       cfg.Store,
+			Retry:       cfg.Retry,
+			Faults:      cfg.Faults,
+		}),
+		workers: make(map[string]*workerState),
+		cells:   make(map[string]*cell),
+		queued:  make(map[string]bool),
+		leases:  make(map[uint64]*lease),
+	}, nil
+}
+
+// Stats returns the assembly sweeper's cumulative cache statistics —
+// for a fabric run, StoreHits is the count of remotely computed cells.
+func (c *Coordinator) Stats() hybridtlb.CacheStats { return c.sweeper.Stats() }
+
+// Run executes one sweep across the fleet. Distribution phase: every
+// distinct cell not already in the store is enqueued for lease; the
+// call waits until each has resolved (uploaded by a worker, or deferred
+// to local simulation by the failure/fallback policy). Assembly phase:
+// the ordinary local sweep engine runs over the original configs with
+// the shared store wired in, so distributed cells are store hits and
+// deferred cells re-simulate — results are byte-identical to a
+// single-process run by construction. Cancelling ctx abandons pending
+// cells and returns with the usual per-cell context errors.
+func (c *Coordinator) Run(ctx context.Context, cfgs []hybridtlb.SimulationConfig, progress func(done, total int)) ([]hybridtlb.SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &run{
+		pending:  make(map[string]int),
+		total:    len(cfgs),
+		progress: progress,
+		done:     make(chan struct{}),
+	}
+
+	// Key every config up front. Invalid configs (bad names, TracePath)
+	// are not distributed; the assembly phase reports their errors with
+	// single-process fidelity.
+	type want struct {
+		key string
+		cfg hybridtlb.SimulationConfig
+	}
+	var wants []want
+	seen := make(map[string]bool)
+	for _, cfg := range cfgs {
+		if cfg.TracePath != "" {
+			continue
+		}
+		key, err := hybridtlb.CellKey(cfg)
+		if err != nil {
+			continue
+		}
+		r.pending[key]++
+		if !seen[key] {
+			seen[key] = true
+			wants = append(wants, want{key, cfg})
+		}
+	}
+
+	// Probe the store outside the lock: already-computed cells resolve
+	// without touching the fleet (the restart / stolen-cell fast path).
+	var hits []string
+	var misses []want
+	for _, w := range wants {
+		if _, ok := c.store.Load(w.key); ok {
+			hits = append(hits, w.key)
+		} else {
+			misses = append(misses, w)
+		}
+	}
+
+	c.mu.Lock()
+	for _, key := range hits {
+		r.resolved += r.pending[key]
+		delete(r.pending, key)
+	}
+	enqueued := 0
+	for _, w := range misses {
+		cl := c.cells[w.key]
+		if cl == nil {
+			raw, err := json.Marshal(w.cfg)
+			if err != nil {
+				// Unmarshalable config: defer to local assembly.
+				r.resolved += r.pending[w.key]
+				delete(r.pending, w.key)
+				continue
+			}
+			cl = &cell{key: w.key, config: raw}
+			c.cells[w.key] = cl
+			c.queue = append(c.queue, w.key)
+			c.queued[w.key] = true
+			enqueued++
+		}
+		cl.runs = append(cl.runs, r)
+	}
+	if len(r.pending) == 0 && !r.closed {
+		r.closed = true
+		close(r.done)
+	}
+	distTotal, distDone := r.total, r.resolved
+	c.mu.Unlock()
+
+	if progress != nil {
+		progress(distDone, distTotal)
+	}
+	c.log.Info("fabric sweep distributing",
+		"cells", len(cfgs), "distinct", len(wants), "store_hits", len(hits), "enqueued", enqueued)
+
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		c.abandon(r)
+	}
+
+	// Assembly. Progress is clamped to the distribution high-water mark
+	// so the job's reported progress never regresses between phases.
+	floor := c.resolvedOf(r)
+	wrapped := progress
+	if progress != nil {
+		wrapped = func(done, total int) {
+			if done < floor {
+				done = floor
+			}
+			progress(done, total)
+		}
+	}
+	return c.sweeper.Run(ctx, cfgs, wrapped)
+}
+
+func (c *Coordinator) resolvedOf(r *run) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return r.resolved
+}
+
+// abandon detaches a canceled run from its pending cells. Cells no
+// other run wants are resolved (leases already out become no-ops) so
+// the fleet stops spending time on work nobody is waiting for.
+func (c *Coordinator) abandon(r *run) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(r.pending))
+	for key := range r.pending {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		cl := c.cells[key]
+		if cl == nil {
+			continue
+		}
+		kept := cl.runs[:0]
+		for _, other := range cl.runs {
+			if other != r {
+				kept = append(kept, other)
+			}
+		}
+		cl.runs = kept
+		if len(cl.runs) == 0 && !cl.resolved {
+			cl.resolved = true
+			if cl.leases == 0 {
+				delete(c.cells, key)
+			}
+		}
+	}
+	if !r.closed {
+		r.closed = true
+		close(r.done)
+	}
+	c.mu.Unlock()
+}
+
+// resolveLocked marks a cell resolved and credits every interested run,
+// returning the progress notifications to fire after unlock.
+func (c *Coordinator) resolveLocked(cl *cell) []notify {
+	if cl.resolved {
+		return nil
+	}
+	cl.resolved = true
+	var ns []notify
+	for _, r := range cl.runs {
+		n := r.pending[cl.key]
+		if n == 0 {
+			continue
+		}
+		delete(r.pending, cl.key)
+		r.resolved += n
+		if r.progress != nil {
+			ns = append(ns, notify{fn: r.progress, done: r.resolved, total: r.total})
+		}
+		if len(r.pending) == 0 && !r.closed {
+			r.closed = true
+			close(r.done)
+		}
+	}
+	cl.runs = nil
+	if cl.leases == 0 {
+		delete(c.cells, cl.key)
+	}
+	return ns
+}
+
+// requeueLocked puts an unresolved, unleased cell back in the queue —
+// the recovery path for dead workers, expired leases, and retryable
+// remote failures.
+func (c *Coordinator) requeueLocked(cl *cell) {
+	if cl.resolved || cl.leases > 0 || c.queued[cl.key] {
+		return
+	}
+	c.queue = append(c.queue, cl.key)
+	c.queued[cl.key] = true
+	c.counters.reenqueued++
+}
+
+// failRemoteLocked records one remote failure for a cell and either
+// requeues it or — past the attempt budget — resolves it for local
+// simulation during assembly. Returns notifications to fire.
+func (c *Coordinator) failRemoteLocked(cl *cell) []notify {
+	cl.attempts++
+	c.counters.remoteFailed++
+	if cl.attempts >= c.cfg.MaxRemoteAttempts {
+		c.counters.localFallback++
+		return c.resolveLocked(cl)
+	}
+	c.requeueLocked(cl)
+	return nil
+}
+
+// register admits a worker, enforcing build-version agreement. The
+// returned worker ID is the handle for every later call; the (possibly
+// suffixed) name is the worker's metric label.
+func (c *Coordinator) register(args *RegisterArgs) (RegisterReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if args.Version != c.cfg.Version {
+		c.counters.rejected++
+		return RegisterReply{}, fmt.Errorf(
+			"fabric: version skew: coordinator runs %q, worker offers %q; deploy matching builds",
+			c.cfg.Version, args.Version)
+	}
+	c.seq++
+	name := args.Name
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", c.seq)
+	}
+	taken := false
+	for _, w := range c.workers {
+		if !w.dead && w.name == name {
+			taken = true
+		}
+	}
+	if taken {
+		name = fmt.Sprintf("%s-%d", name, c.seq)
+	}
+	id := fmt.Sprintf("w-%d", c.seq)
+	c.workers[id] = &workerState{id: id, name: name, version: args.Version, lastBeat: c.tick}
+	c.zeroSince = 0
+	return RegisterReply{WorkerID: id, Name: name, CoordinatorVersion: c.cfg.Version}, nil
+}
+
+// heartbeat refreshes a worker's liveness; Known=false tells the worker
+// to re-register (coordinator restart, or it was declared dead).
+func (c *Coordinator) heartbeat(args *HeartbeatArgs) HeartbeatReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[args.WorkerID]
+	if w == nil || w.dead {
+		return HeartbeatReply{Known: false}
+	}
+	w.lastBeat = c.tick
+	return HeartbeatReply{Known: true}
+}
+
+// leaseFor hands the next pending cell to a worker. With an empty
+// queue it considers stealing: the oldest lease past StealAfterTicks
+// (held by someone else, cell not already double-leased) is duplicated,
+// so one straggler cannot stall the tail of a sweep.
+func (c *Coordinator) leaseFor(args *LeaseArgs) LeaseReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[args.WorkerID]
+	if w == nil || w.dead {
+		return LeaseReply{Status: StatusUnregistered}
+	}
+	w.lastBeat = c.tick
+
+	for len(c.queue) > 0 {
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		delete(c.queued, key)
+		cl := c.cells[key]
+		if cl == nil || cl.resolved {
+			continue
+		}
+		return c.grantLocked(w, cl, false)
+	}
+
+	var victim *lease
+	for _, l := range c.leases {
+		if l.worker == args.WorkerID || c.tick-l.granted < uint64(c.cfg.StealAfterTicks) {
+			continue
+		}
+		cl := c.cells[l.key]
+		if cl == nil || cl.resolved || cl.leases >= 2 {
+			continue
+		}
+		if victim == nil || l.granted < victim.granted ||
+			(l.granted == victim.granted && l.id < victim.id) {
+			victim = l
+		}
+	}
+	if victim != nil {
+		c.counters.stolen++
+		return c.grantLocked(w, c.cells[victim.key], true)
+	}
+	return LeaseReply{Status: StatusIdle}
+}
+
+func (c *Coordinator) grantLocked(w *workerState, cl *cell, stolen bool) LeaseReply {
+	c.leaseSeq++
+	l := &lease{id: c.leaseSeq, key: cl.key, worker: w.id, granted: c.tick, stolen: stolen}
+	c.leases[l.id] = l
+	cl.leases++
+	w.leases++
+	c.counters.granted++
+	return LeaseReply{Status: StatusGranted, LeaseID: l.id, Key: cl.key, Config: cl.config, Stolen: stolen}
+}
+
+// complete ingests one finished lease. A successful payload is saved to
+// the shared store (outside the lock) and resolves the cell; a reported
+// error goes through the failure policy. Stale leases — already expired,
+// stolen-and-finished by the other holder, or from a worker declared
+// dead — are refused with Accepted=false.
+func (c *Coordinator) complete(args *CompleteArgs) CompleteReply {
+	c.mu.Lock()
+	if w := c.workers[args.WorkerID]; w != nil && !w.dead {
+		w.lastBeat = c.tick
+	}
+	l := c.leases[args.LeaseID]
+	if l == nil || l.worker != args.WorkerID || l.key != args.Key {
+		c.mu.Unlock()
+		return CompleteReply{Accepted: false}
+	}
+	c.dropLeaseLocked(l)
+	cl := c.cells[l.key]
+	if cl == nil || cl.resolved {
+		if cl != nil && cl.resolved && cl.leases == 0 {
+			delete(c.cells, cl.key)
+		}
+		c.mu.Unlock()
+		return CompleteReply{Accepted: false}
+	}
+	if args.Error != "" {
+		ns := c.failRemoteLocked(cl)
+		c.mu.Unlock()
+		fire(ns)
+		c.log.Warn("cell failed remotely", "key", shortKey(args.Key), "worker", args.WorkerID, "err", args.Error)
+		return CompleteReply{Accepted: true}
+	}
+	c.mu.Unlock()
+
+	// The store write happens outside the lock; persist's atomic rename
+	// makes a racing duplicate upload (steal) benign — both write the
+	// same bytes under the same key.
+	saveErr := c.store.Save(args.Key, args.Payload)
+
+	c.mu.Lock()
+	var ns []notify
+	accepted := false
+	cl = c.cells[args.Key]
+	if saveErr != nil {
+		c.counters.uploadErrors++
+		if cl != nil && !cl.resolved {
+			ns = c.failRemoteLocked(cl)
+		}
+	} else {
+		c.counters.uploads++
+		accepted = true
+		if cl != nil && !cl.resolved {
+			ns = c.resolveLocked(cl)
+		}
+	}
+	c.mu.Unlock()
+	fire(ns)
+	if saveErr != nil {
+		c.log.Warn("cell upload failed", "key", shortKey(args.Key), "err", saveErr)
+	}
+	return CompleteReply{Accepted: accepted}
+}
+
+// dropLeaseLocked removes a lease and its bookkeeping without touching
+// cell resolution.
+func (c *Coordinator) dropLeaseLocked(l *lease) {
+	delete(c.leases, l.id)
+	if w := c.workers[l.worker]; w != nil && w.leases > 0 {
+		w.leases--
+	}
+	if cl := c.cells[l.key]; cl != nil && cl.leases > 0 {
+		cl.leases--
+	}
+}
+
+// Tick advances fabric time by one step: heartbeat-silent workers are
+// declared dead (their leases re-enqueued), over-age leases expire, and
+// a fleet that has been empty for FallbackAfterTicks resolves every
+// pending cell for local simulation — a sweep can degrade, never hang.
+// The cmd layer drives Tick from a wall-clock ticker; tests call it
+// directly.
+func (c *Coordinator) Tick() {
+	var ns []notify
+	var died []string
+	c.mu.Lock()
+	c.tick++
+
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	live := 0
+	for _, id := range ids {
+		w := c.workers[id]
+		if w.dead {
+			continue
+		}
+		if c.tick-w.lastBeat > uint64(c.cfg.DeadAfterTicks) {
+			w.dead = true
+			died = append(died, w.name)
+			lids := make([]uint64, 0, w.leases)
+			for lid, l := range c.leases {
+				if l.worker == id {
+					lids = append(lids, lid)
+				}
+			}
+			sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+			for _, lid := range lids {
+				l := c.leases[lid]
+				c.dropLeaseLocked(l)
+				if cl := c.cells[l.key]; cl != nil {
+					c.requeueLocked(cl)
+				}
+			}
+			continue
+		}
+		live++
+	}
+
+	lids := make([]uint64, 0, len(c.leases))
+	for lid := range c.leases {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	for _, lid := range lids {
+		l := c.leases[lid]
+		if c.tick-l.granted > uint64(c.cfg.LeaseTTLTicks) {
+			c.counters.expired++
+			c.dropLeaseLocked(l)
+			if cl := c.cells[l.key]; cl != nil {
+				c.requeueLocked(cl)
+			}
+		}
+	}
+
+	if live > 0 {
+		c.zeroSince = 0
+	} else {
+		if c.zeroSince == 0 {
+			c.zeroSince = c.tick
+		}
+		if c.tick-c.zeroSince >= uint64(c.cfg.FallbackAfterTicks) && len(c.cells) > 0 {
+			keys := make([]string, 0, len(c.cells))
+			for key := range c.cells {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				cl := c.cells[key]
+				if cl == nil || cl.resolved {
+					continue
+				}
+				c.counters.localFallback++
+				ns = append(ns, c.resolveLocked(cl)...)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	fire(ns)
+	for _, name := range died {
+		c.log.Warn("worker declared dead; leases re-enqueued", "worker", name)
+	}
+	if len(ns) > 0 && len(died) == 0 {
+		c.log.Info("pending cells resolved for local simulation (no live workers)", "cells", len(ns))
+	}
+}
+
+// WorkerLeases is one live worker's row in a Snapshot.
+type WorkerLeases struct {
+	Name   string
+	Leases int
+}
+
+// Snapshot is a consistent view of fabric state for metrics and tests.
+type Snapshot struct {
+	Tick              uint64
+	WorkersLive       int
+	WorkersDead       int
+	LeasesOutstanding int
+	QueueDepth        int
+	CellsPending      int
+	Granted           uint64
+	Stolen            uint64
+	Reenqueued        uint64
+	Expired           uint64
+	Uploads           uint64
+	UploadErrors      uint64
+	RemoteFailed      uint64
+	LocalFallback     uint64
+	Rejected          uint64
+	PerWorker         []WorkerLeases // live workers, sorted by name
+}
+
+// Snapshot returns current fabric state under one lock acquisition.
+func (c *Coordinator) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Tick:              c.tick,
+		LeasesOutstanding: len(c.leases),
+		QueueDepth:        len(c.queue),
+		Granted:           c.counters.granted,
+		Stolen:            c.counters.stolen,
+		Reenqueued:        c.counters.reenqueued,
+		Expired:           c.counters.expired,
+		Uploads:           c.counters.uploads,
+		UploadErrors:      c.counters.uploadErrors,
+		RemoteFailed:      c.counters.remoteFailed,
+		LocalFallback:     c.counters.localFallback,
+		Rejected:          c.counters.rejected,
+	}
+	for _, cl := range c.cells {
+		if !cl.resolved {
+			s.CellsPending++
+		}
+	}
+	for _, w := range c.workers {
+		if w.dead {
+			s.WorkersDead++
+			continue
+		}
+		s.WorkersLive++
+		s.PerWorker = append(s.PerWorker, WorkerLeases{Name: w.name, Leases: w.leases})
+	}
+	sort.Slice(s.PerWorker, func(i, j int) bool { return s.PerWorker[i].Name < s.PerWorker[j].Name })
+	return s
+}

@@ -1,0 +1,109 @@
+// Package fabric is the distributed sweep layer: a coordinator that
+// shards sweep cells across a pool of remote workers over net/rpc, with
+// heartbeat-tracked membership, lease-based work assignment, straggler
+// stealing, and dead-worker recovery.
+//
+// The design leans on two properties the rest of the repository already
+// guarantees. First, cells are content-addressed: hybridtlb.CellKey is
+// a SHA-256 over the canonical cell configuration, and two cells with
+// equal keys compute byte-identical results. Second, the persist store
+// round-trips the engine's result payload losslessly. Together they
+// make the store the result transport: workers upload completed cells
+// into the coordinator's content-addressed store, and the coordinator
+// assembles the sweep by running the ordinary local sweep engine with
+// that store wired in — every distributed cell is a store hit, and any
+// cell the fleet failed to deliver (no workers, repeated remote
+// failures, mid-flight kills) is simply re-simulated locally. Degraded
+// mode is therefore the same code path as a cache miss, and a fabric
+// run is byte-identical to a single-process run by construction.
+//
+// The coordinator is clock-free: all timing — lease TTLs, heartbeat
+// expiry, steal thresholds, the zero-worker fallback — is expressed in
+// ticks of an externally driven counter (Coordinator.Tick). The cmd
+// layer advances it from a wall-clock ticker; tests advance it by
+// calling Tick directly. This keeps the package inside the repository's
+// determinism lint boundary and makes every recovery path unit-testable
+// without sleeping.
+package fabric
+
+import (
+	"log/slog"
+
+	"hybridtlb"
+	"hybridtlb/internal/persist"
+)
+
+// Config tunes a Coordinator. Tick-denominated fields count calls to
+// Coordinator.Tick; with the cmd layer's default 250ms tick period the
+// defaults below mean: a worker is dead after ~3s of heartbeat silence,
+// a lease may be stolen after ~10s, an unreachable fleet falls back to
+// local simulation after ~5s, and a lease expires outright after ~10min.
+type Config struct {
+	// Store is the shared content-addressed result store — the result
+	// transport between workers and the coordinator. Required.
+	Store *persist.ResultStore
+	// Version is this build's identity (internal/buildinfo.Version).
+	// Workers offering a different string are rejected at registration:
+	// mixed builds could disagree on simulation semantics and silently
+	// poison the shared store.
+	Version string
+	// LeaseTTLTicks bounds how long one lease may stay outstanding
+	// before it expires and its cell is re-enqueued (default 2400).
+	LeaseTTLTicks int
+	// DeadAfterTicks is the heartbeat silence after which a worker is
+	// declared dead and its leases re-enqueued (default 12).
+	DeadAfterTicks int
+	// StealAfterTicks is the lease age after which an idle worker may
+	// be granted a duplicate lease on the same cell — straggler
+	// insurance; first completion wins (default 40).
+	StealAfterTicks int
+	// FallbackAfterTicks is how long the coordinator tolerates zero
+	// live workers before resolving all pending cells locally, so a
+	// sweep never hangs on an empty fleet (default 20).
+	FallbackAfterTicks int
+	// MaxRemoteAttempts bounds remote failures per cell before the
+	// coordinator stops re-enqueueing it and resolves it locally
+	// (default 2).
+	MaxRemoteAttempts int
+	// SweepParallelism bounds the assembly sweeper's local concurrency
+	// (0: GOMAXPROCS). Assembly is mostly store hits; this matters only
+	// for cells that fall back to local simulation.
+	SweepParallelism int
+	// Retry is the per-cell retry policy for locally simulated cells.
+	Retry hybridtlb.RetryPolicy
+	// Faults, when non-nil, injects seeded chaos into local simulation.
+	Faults *hybridtlb.FaultInjector
+	// Logger receives membership and recovery logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTLTicks <= 0 {
+		c.LeaseTTLTicks = 2400
+	}
+	if c.DeadAfterTicks <= 0 {
+		c.DeadAfterTicks = 12
+	}
+	if c.StealAfterTicks <= 0 {
+		c.StealAfterTicks = 40
+	}
+	if c.FallbackAfterTicks <= 0 {
+		c.FallbackAfterTicks = 20
+	}
+	if c.MaxRemoteAttempts <= 0 {
+		c.MaxRemoteAttempts = 2
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// shortKey abbreviates a 64-hex cell key for logs and errors.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

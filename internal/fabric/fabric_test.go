@@ -1,0 +1,490 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridtlb"
+	"hybridtlb/internal/persist"
+)
+
+const testVersion = "test-build-1"
+
+func testCfg(scheme, scenario string) hybridtlb.SimulationConfig {
+	return hybridtlb.SimulationConfig{
+		Scheme: scheme, Workload: "gups", Scenario: scenario,
+		Accesses: 2000, Seed: 42,
+	}
+}
+
+// newTestCoordinator builds a coordinator with tick thresholds small
+// enough that unit tests can cross them with a handful of Tick calls.
+func newTestCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	store, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(Config{
+		Store:              store,
+		Version:            testVersion,
+		LeaseTTLTicks:      10,
+		DeadAfterTicks:     3,
+		StealAfterTicks:    4,
+		FallbackAfterTicks: 5,
+		MaxRemoteAttempts:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// computePayload runs cfg through the same engine path a worker uses
+// and returns (key, engine-format payload).
+func computePayload(t *testing.T, cfg hybridtlb.SimulationConfig) (string, []byte) {
+	t.Helper()
+	key, err := hybridtlb.CellKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := newCellStore(nil)
+	sw := hybridtlb.NewSweeper(hybridtlb.SweepOptions{Store: capture})
+	results, err := sw.Run(context.Background(), []hybridtlb.SimulationConfig{cfg}, nil)
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("reference simulation failed: %v / %v", err, results[0].Err)
+	}
+	payload, ok := capture.payload(key)
+	if !ok {
+		t.Fatal("engine wrote no payload")
+	}
+	return key, payload
+}
+
+// startRun launches a coordinator Run on a goroutine and returns a
+// channel carrying its outcome.
+type runOutcome struct {
+	results []hybridtlb.SweepResult
+	err     error
+}
+
+func startRun(c *Coordinator, cfgs []hybridtlb.SimulationConfig) chan runOutcome {
+	ch := make(chan runOutcome, 1)
+	go func() {
+		res, err := c.Run(context.Background(), cfgs, nil)
+		ch <- runOutcome{res, err}
+	}()
+	return ch
+}
+
+// leaseEventually polls leaseFor until a grant arrives (the Run
+// goroutine enqueues cells asynchronously).
+func leaseEventually(t *testing.T, c *Coordinator, workerID string) LeaseReply {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		l := c.leaseFor(&LeaseArgs{WorkerID: workerID})
+		if l.Status == StatusGranted {
+			return l
+		}
+		if l.Status == StatusUnregistered {
+			t.Fatalf("worker %s unregistered while waiting for a lease", workerID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no lease granted within the deadline")
+	return LeaseReply{}
+}
+
+func TestRegisterRejectsVersionSkew(t *testing.T) {
+	c := newTestCoordinator(t)
+	_, err := c.register(&RegisterArgs{Name: "w", Version: "other-build"})
+	if err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("register with mismatched version = %v, want version-skew error", err)
+	}
+	if s := c.Snapshot(); s.Rejected != 1 || s.WorkersLive != 0 {
+		t.Fatalf("snapshot = %+v, want 1 rejection, 0 live workers", s)
+	}
+	if _, err := c.register(&RegisterArgs{Name: "w", Version: testVersion}); err != nil {
+		t.Fatalf("register with matching version failed: %v", err)
+	}
+}
+
+// A lease that outlives its TTL must expire and put the cell back in
+// the queue, where the next asking worker picks it up.
+func TestLeaseExpiryReenqueues(t *testing.T) {
+	c := newTestCoordinator(t)
+	reg, err := c.register(&RegisterArgs{Name: "w1", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg("anchor", "demand")
+	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
+
+	l1 := leaseEventually(t, c, reg.WorkerID)
+
+	// The worker sits on the lease past the TTL. It keeps heartbeating
+	// (so it is not declared dead) — this is specifically lease expiry.
+	for i := 0; i < 12; i++ {
+		c.heartbeat(&HeartbeatArgs{WorkerID: reg.WorkerID})
+		c.Tick()
+	}
+	s := c.Snapshot()
+	if s.Expired != 1 {
+		t.Fatalf("snapshot = %+v, want 1 expired lease", s)
+	}
+	if s.Reenqueued != 1 {
+		t.Fatalf("snapshot = %+v, want 1 re-enqueued cell", s)
+	}
+
+	// The cell is leasable again; completing it finishes the run.
+	l2 := leaseEventually(t, c, reg.WorkerID)
+	if l2.Key != l1.Key {
+		t.Fatalf("re-lease handed key %s, want the expired cell %s", shortKey(l2.Key), shortKey(l1.Key))
+	}
+	key, payload := computePayload(t, cfg)
+	if key != l2.Key {
+		t.Fatalf("coordinator key %s != engine key %s", shortKey(l2.Key), shortKey(key))
+	}
+	rep := c.complete(&CompleteArgs{WorkerID: reg.WorkerID, LeaseID: l2.LeaseID, Key: l2.Key, Payload: payload})
+	if !rep.Accepted {
+		t.Fatal("completion of re-leased cell not accepted")
+	}
+	// The expired original lease is gone; completing it must be refused.
+	if rep := c.complete(&CompleteArgs{WorkerID: reg.WorkerID, LeaseID: l1.LeaseID, Key: l1.Key, Payload: payload}); rep.Accepted {
+		t.Fatal("stale completion of an expired lease was accepted")
+	}
+
+	o := <-out
+	if o.err != nil {
+		t.Fatalf("run failed: %v", o.err)
+	}
+	if len(o.results) != 1 || o.results[0].Err != nil {
+		t.Fatalf("results = %+v, want one clean cell", o.results)
+	}
+}
+
+// A worker that stops heartbeating is declared dead and its leases are
+// re-enqueued for the survivors.
+func TestDeadWorkerRecovery(t *testing.T) {
+	c := newTestCoordinator(t)
+	doomed, err := c.register(&RegisterArgs{Name: "doomed", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := c.register(&RegisterArgs{Name: "survivor", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg("colt", "medium")
+	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
+
+	l := leaseEventually(t, c, doomed.WorkerID)
+
+	// Only the survivor heartbeats; the doomed worker goes silent.
+	for i := 0; i < 5; i++ {
+		c.heartbeat(&HeartbeatArgs{WorkerID: survivor.WorkerID})
+		c.Tick()
+	}
+	s := c.Snapshot()
+	if s.WorkersDead != 1 || s.WorkersLive != 1 {
+		t.Fatalf("snapshot = %+v, want 1 dead + 1 live worker", s)
+	}
+	if s.Reenqueued == 0 {
+		t.Fatalf("snapshot = %+v, want the dead worker's lease re-enqueued", s)
+	}
+
+	// The dead worker is locked out.
+	if rep := c.heartbeat(&HeartbeatArgs{WorkerID: doomed.WorkerID}); rep.Known {
+		t.Fatal("dead worker still recognized by heartbeat")
+	}
+	if rep := c.leaseFor(&LeaseArgs{WorkerID: doomed.WorkerID}); rep.Status != StatusUnregistered {
+		t.Fatalf("dead worker lease status = %s, want unregistered", rep.Status)
+	}
+
+	// The survivor picks the cell up and finishes the sweep.
+	l2 := leaseEventually(t, c, survivor.WorkerID)
+	if l2.Key != l.Key {
+		t.Fatalf("survivor got key %s, want the recovered cell %s", shortKey(l2.Key), shortKey(l.Key))
+	}
+	_, payload := computePayload(t, cfg)
+	if rep := c.complete(&CompleteArgs{WorkerID: survivor.WorkerID, LeaseID: l2.LeaseID, Key: l2.Key, Payload: payload}); !rep.Accepted {
+		t.Fatal("survivor's completion not accepted")
+	}
+	o := <-out
+	if o.err != nil || len(o.results) != 1 || o.results[0].Err != nil {
+		t.Fatalf("run = (%+v, %v), want one clean cell", o.results, o.err)
+	}
+}
+
+// An idle worker must be able to steal a straggler's cell: the lease is
+// duplicated, first completion wins, the loser is refused.
+func TestStragglerSteal(t *testing.T) {
+	c := newTestCoordinator(t)
+	slow, err := c.register(&RegisterArgs{Name: "slow", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := c.register(&RegisterArgs{Name: "fast", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg("thp", "demand")
+	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
+
+	l1 := leaseEventually(t, c, slow.WorkerID)
+
+	// Before the steal threshold, the idle worker gets nothing.
+	if rep := c.leaseFor(&LeaseArgs{WorkerID: fast.WorkerID}); rep.Status != StatusIdle {
+		t.Fatalf("pre-threshold lease = %s, want idle", rep.Status)
+	}
+	for i := 0; i < 5; i++ {
+		c.heartbeat(&HeartbeatArgs{WorkerID: slow.WorkerID})
+		c.heartbeat(&HeartbeatArgs{WorkerID: fast.WorkerID})
+		c.Tick()
+	}
+	l2 := c.leaseFor(&LeaseArgs{WorkerID: fast.WorkerID})
+	if l2.Status != StatusGranted || !l2.Stolen || l2.Key != l1.Key {
+		t.Fatalf("post-threshold lease = %+v, want a stolen grant of %s", l2, shortKey(l1.Key))
+	}
+	s := c.Snapshot()
+	if s.Stolen != 1 {
+		t.Fatalf("snapshot = %+v, want 1 steal", s)
+	}
+	// At most one duplicate: a third worker cannot steal again.
+	third, err := c.register(&RegisterArgs{Name: "third", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := c.leaseFor(&LeaseArgs{WorkerID: third.WorkerID}); rep.Status != StatusIdle {
+		t.Fatalf("double-steal attempt = %s, want idle", rep.Status)
+	}
+
+	// The thief completes first and wins; the straggler is refused.
+	_, payload := computePayload(t, cfg)
+	if rep := c.complete(&CompleteArgs{WorkerID: fast.WorkerID, LeaseID: l2.LeaseID, Key: l2.Key, Payload: payload}); !rep.Accepted {
+		t.Fatal("thief's completion not accepted")
+	}
+	if rep := c.complete(&CompleteArgs{WorkerID: slow.WorkerID, LeaseID: l1.LeaseID, Key: l1.Key, Payload: payload}); rep.Accepted {
+		t.Fatal("straggler's late completion was accepted after the steal won")
+	}
+	o := <-out
+	if o.err != nil || len(o.results) != 1 || o.results[0].Err != nil {
+		t.Fatalf("run = (%+v, %v), want one clean cell", o.results, o.err)
+	}
+}
+
+// With zero live workers, pending cells must resolve to local
+// simulation after the fallback window — a sweep can degrade but never
+// hang on an empty fleet.
+func TestLocalFallbackWithoutWorkers(t *testing.T) {
+	c := newTestCoordinator(t)
+	cfgs := []hybridtlb.SimulationConfig{
+		testCfg("base", "demand"),
+		testCfg("anchor", "medium"),
+	}
+	out := startRun(c, cfgs)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var o runOutcome
+	ticking := true
+	for ticking {
+		select {
+		case o = <-out:
+			ticking = false
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("run never fell back to local simulation")
+			}
+			c.Tick()
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if o.err != nil {
+		t.Fatalf("run failed: %v", o.err)
+	}
+	s := c.Snapshot()
+	if s.LocalFallback != 2 {
+		t.Fatalf("snapshot = %+v, want both cells counted as local fallback", s)
+	}
+	if s.Uploads != 0 {
+		t.Fatalf("snapshot = %+v, want no uploads with an empty fleet", s)
+	}
+
+	// Degraded-mode results are still byte-identical to a local run.
+	ref, err := hybridtlb.SimulateSweep(context.Background(), cfgs, hybridtlb.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		assertSameResult(t, i, o.results[i], ref[i])
+	}
+}
+
+// Remote failures past the attempt budget must defer the cell to local
+// simulation instead of looping forever through the queue.
+func TestRemoteFailureBudget(t *testing.T) {
+	c := newTestCoordinator(t)
+	reg, err := c.register(&RegisterArgs{Name: "flaky", Version: testVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg("colt", "demand")
+	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
+
+	// Two failed attempts exhaust MaxRemoteAttempts=2.
+	l := leaseEventually(t, c, reg.WorkerID)
+	c.complete(&CompleteArgs{WorkerID: reg.WorkerID, LeaseID: l.LeaseID, Key: l.Key, Error: "injected fault"})
+	l = leaseEventually(t, c, reg.WorkerID)
+	c.complete(&CompleteArgs{WorkerID: reg.WorkerID, LeaseID: l.LeaseID, Key: l.Key, Error: "injected fault"})
+
+	o := <-out
+	if o.err != nil || o.results[0].Err != nil {
+		t.Fatalf("run = (%+v, %v), want local fallback to succeed", o.results, o.err)
+	}
+	s := c.Snapshot()
+	if s.RemoteFailed != 2 || s.LocalFallback != 1 {
+		t.Fatalf("snapshot = %+v, want 2 remote failures then 1 local fallback", s)
+	}
+}
+
+func assertSameResult(t *testing.T, i int, got, want hybridtlb.SweepResult) {
+	t.Helper()
+	if (got.Err == nil) != (want.Err == nil) {
+		t.Fatalf("cell %d error mismatch: got %v, want %v", i, got.Err, want.Err)
+	}
+	g, err := json.Marshal(got.SimulationResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want.SimulationResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g) != string(w) {
+		t.Errorf("cell %d diverged:\n got:  %s\n want: %s", i, g, w)
+	}
+}
+
+// TestFabricEndToEnd runs the real stack in-process — coordinator,
+// RPC listener, and two Worker runtimes over TCP — and checks that the
+// distributed sweep is byte-identical to a single-process run, with
+// the cells actually computed remotely.
+func TestFabricEndToEnd(t *testing.T) {
+	store, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholds here are generous: with a 2ms tick, tight unit-test
+	// windows would flap workers dead between heartbeats under -race.
+	c, err := NewCoordinator(Config{
+		Store:              store,
+		Version:            testVersion,
+		LeaseTTLTicks:      10000,
+		DeadAfterTicks:     500,
+		StealAfterTicks:    100,
+		FallbackAfterTicks: 10000,
+		MaxRemoteAttempts:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	svc := NewService(c)
+	go svc.Serve(ln) //nolint:errcheck // returns nil when ln closes
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Drive the fabric clock fast so heartbeat/steal machinery runs.
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				c.Tick()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, name := range []string{"e2e-a", "e2e-b"} {
+		w, err := NewWorker(WorkerConfig{
+			Coordinator: ln.Addr().String(),
+			Name:        name,
+			Version:     testVersion,
+			Heartbeat:   2 * time.Millisecond,
+			Poll:        2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("worker exited: %v", err)
+			}
+		}()
+	}
+
+	cfgs := []hybridtlb.SimulationConfig{
+		testCfg("base", "demand"),
+		testCfg("anchor", "demand"),
+		testCfg("thp", "medium"),
+		testCfg("colt", "medium"),
+		testCfg("anchor", "demand"), // duplicate: must coalesce to one cell
+	}
+	results, err := c.Run(context.Background(), cfgs, nil)
+	if err != nil {
+		t.Fatalf("fabric run failed: %v", err)
+	}
+
+	ref, err := hybridtlb.SimulateSweep(context.Background(), cfgs, hybridtlb.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		assertSameResult(t, i, results[i], ref[i])
+	}
+
+	s := c.Snapshot()
+	if s.Uploads != 4 {
+		t.Errorf("snapshot = %+v, want all 4 distinct cells computed remotely", s)
+	}
+	if s.LocalFallback != 0 {
+		t.Errorf("snapshot = %+v, want no local fallback with a live fleet", s)
+	}
+	if s.WorkersLive != 2 {
+		t.Errorf("snapshot = %+v, want 2 live workers", s)
+	}
+
+	// A second identical sweep is all store hits: nothing re-enters the
+	// queue and no new uploads happen.
+	again, err := c.Run(context.Background(), cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		assertSameResult(t, i, again[i], ref[i])
+	}
+	if s2 := c.Snapshot(); s2.Uploads != s.Uploads {
+		t.Errorf("repeat sweep re-uploaded cells: %+v -> %+v", s, s2)
+	}
+
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the coordinator's fabric families in Prometheus
+// text exposition format. The server mounts it through its
+// ExtraMetrics seam so one /metrics scrape covers HTTP, sweep-cache,
+// store, and fabric state.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	s := c.Snapshot()
+
+	fmt.Fprintln(w, "# HELP fabric_workers Fabric workers by membership state.")
+	fmt.Fprintln(w, "# TYPE fabric_workers gauge")
+	fmt.Fprintf(w, "fabric_workers{state=\"live\"} %d\n", s.WorkersLive)
+	fmt.Fprintf(w, "fabric_workers{state=\"dead\"} %d\n", s.WorkersDead)
+
+	fmt.Fprintln(w, "# HELP fabric_worker_leases Leases currently held by each live worker.")
+	fmt.Fprintln(w, "# TYPE fabric_worker_leases gauge")
+	for _, wl := range s.PerWorker {
+		fmt.Fprintf(w, "fabric_worker_leases{worker=%q} %d\n", wl.Name, wl.Leases)
+	}
+
+	fmt.Fprintln(w, "# HELP fabric_leases_outstanding Leases currently out with workers.")
+	fmt.Fprintln(w, "# TYPE fabric_leases_outstanding gauge")
+	fmt.Fprintf(w, "fabric_leases_outstanding %d\n", s.LeasesOutstanding)
+
+	fmt.Fprintln(w, "# HELP fabric_queue_depth Cells awaiting a lease.")
+	fmt.Fprintln(w, "# TYPE fabric_queue_depth gauge")
+	fmt.Fprintf(w, "fabric_queue_depth %d\n", s.QueueDepth)
+
+	fmt.Fprintln(w, "# HELP fabric_cells_pending Distinct cells not yet resolved.")
+	fmt.Fprintln(w, "# TYPE fabric_cells_pending gauge")
+	fmt.Fprintf(w, "fabric_cells_pending %d\n", s.CellsPending)
+
+	fmt.Fprintln(w, "# HELP fabric_ticks_total Coordinator clock ticks processed.")
+	fmt.Fprintln(w, "# TYPE fabric_ticks_total counter")
+	fmt.Fprintf(w, "fabric_ticks_total %d\n", s.Tick)
+
+	fmt.Fprintln(w, "# HELP fabric_leases_granted_total Cell leases handed to workers (steals included).")
+	fmt.Fprintln(w, "# TYPE fabric_leases_granted_total counter")
+	fmt.Fprintf(w, "fabric_leases_granted_total %d\n", s.Granted)
+
+	fmt.Fprintln(w, "# HELP fabric_leases_stolen_total Duplicate leases granted on straggling cells.")
+	fmt.Fprintln(w, "# TYPE fabric_leases_stolen_total counter")
+	fmt.Fprintf(w, "fabric_leases_stolen_total %d\n", s.Stolen)
+
+	fmt.Fprintln(w, "# HELP fabric_leases_reenqueued_total Cells put back in the queue after a dead worker, expired lease, or retryable remote failure.")
+	fmt.Fprintln(w, "# TYPE fabric_leases_reenqueued_total counter")
+	fmt.Fprintf(w, "fabric_leases_reenqueued_total %d\n", s.Reenqueued)
+
+	fmt.Fprintln(w, "# HELP fabric_leases_expired_total Leases that outlived the TTL and were revoked.")
+	fmt.Fprintln(w, "# TYPE fabric_leases_expired_total counter")
+	fmt.Fprintf(w, "fabric_leases_expired_total %d\n", s.Expired)
+
+	fmt.Fprintln(w, "# HELP fabric_store_uploads_total Cell payloads uploaded into the shared result store.")
+	fmt.Fprintln(w, "# TYPE fabric_store_uploads_total counter")
+	fmt.Fprintf(w, "fabric_store_uploads_total %d\n", s.Uploads)
+
+	fmt.Fprintln(w, "# HELP fabric_store_upload_errors_total Uploads the coordinator failed to persist.")
+	fmt.Fprintln(w, "# TYPE fabric_store_upload_errors_total counter")
+	fmt.Fprintf(w, "fabric_store_upload_errors_total %d\n", s.UploadErrors)
+
+	fmt.Fprintln(w, "# HELP fabric_cells_remote_failed_total Remote cell attempts that reported an error.")
+	fmt.Fprintln(w, "# TYPE fabric_cells_remote_failed_total counter")
+	fmt.Fprintf(w, "fabric_cells_remote_failed_total %d\n", s.RemoteFailed)
+
+	fmt.Fprintln(w, "# HELP fabric_cells_local_fallback_total Cells resolved by local simulation after the fleet could not deliver them.")
+	fmt.Fprintln(w, "# TYPE fabric_cells_local_fallback_total counter")
+	fmt.Fprintf(w, "fabric_cells_local_fallback_total %d\n", s.LocalFallback)
+
+	fmt.Fprintln(w, "# HELP fabric_workers_rejected_total Worker registrations refused for build-version skew.")
+	fmt.Fprintln(w, "# TYPE fabric_workers_rejected_total counter")
+	fmt.Fprintf(w, "fabric_workers_rejected_total %d\n", s.Rejected)
+}

@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+)
+
+// ServiceName is the RPC receiver name workers dial methods on
+// ("Fabric.Register", "Fabric.Lease", ...).
+const ServiceName = "Fabric"
+
+// LeaseStatus is the coordinator's answer to a lease request.
+type LeaseStatus string
+
+const (
+	// StatusGranted carries a cell to execute.
+	StatusGranted LeaseStatus = "granted"
+	// StatusIdle means no work is available right now; poll again.
+	StatusIdle LeaseStatus = "idle"
+	// StatusUnregistered means the coordinator does not recognize the
+	// worker (restart, or it was declared dead); re-register.
+	StatusUnregistered LeaseStatus = "unregistered"
+)
+
+// RegisterArgs announces a worker. Name is advisory (the coordinator
+// may suffix it for uniqueness); Version must match the coordinator's
+// build identity or registration is refused.
+type RegisterArgs struct {
+	Name    string
+	Version string
+}
+
+// RegisterReply carries the worker's assigned identity.
+type RegisterReply struct {
+	WorkerID           string
+	Name               string
+	CoordinatorVersion string
+}
+
+// LeaseArgs requests one cell of work.
+type LeaseArgs struct {
+	WorkerID string
+}
+
+// LeaseReply carries a granted cell: its content-address Key and the
+// JSON-encoded simulation config. Stolen marks a duplicate lease on a
+// straggler's cell — informational only; execution is identical.
+type LeaseReply struct {
+	Status  LeaseStatus
+	LeaseID uint64
+	Key     string
+	Config  []byte
+	Stolen  bool
+}
+
+// CompleteArgs reports one finished lease: the engine-format result
+// payload on success, or the cell's error string. Payload bytes are
+// exactly what the worker's engine wrote through its store seam, so
+// the coordinator can persist them verbatim.
+type CompleteArgs struct {
+	WorkerID string
+	LeaseID  uint64
+	Key      string
+	Payload  []byte
+	Error    string
+}
+
+// CompleteReply acknowledges a completion. Accepted=false means the
+// lease was stale (expired, superseded by a steal, or from a dead
+// worker) and the result was discarded — harmless, since the winning
+// copy is byte-identical.
+type CompleteReply struct {
+	Accepted bool
+}
+
+// HeartbeatArgs refreshes a worker's liveness.
+type HeartbeatArgs struct {
+	WorkerID string
+}
+
+// HeartbeatReply reports whether the coordinator still recognizes the
+// worker; Known=false is the cue to re-register.
+type HeartbeatReply struct {
+	Known bool
+}
+
+// Service adapts a Coordinator to net/rpc method conventions. All
+// methods are safe for concurrent use — net/rpc dispatches each call on
+// its own goroutine.
+type Service struct {
+	c *Coordinator
+}
+
+// NewService wraps a Coordinator for RPC exposure.
+func NewService(c *Coordinator) *Service { return &Service{c: c} }
+
+// Register admits a worker (or rejects it for version skew).
+func (s *Service) Register(args *RegisterArgs, reply *RegisterReply) error {
+	r, err := s.c.register(args)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+// Lease hands out the next pending cell, a stolen duplicate, or idle.
+func (s *Service) Lease(args *LeaseArgs, reply *LeaseReply) error {
+	*reply = s.c.leaseFor(args)
+	return nil
+}
+
+// Complete ingests a finished cell.
+func (s *Service) Complete(args *CompleteArgs, reply *CompleteReply) error {
+	*reply = s.c.complete(args)
+	return nil
+}
+
+// Heartbeat refreshes liveness.
+func (s *Service) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
+	*reply = s.c.heartbeat(args)
+	return nil
+}
+
+// Serve accepts worker connections on ln until the listener closes
+// (clean nil return — the shutdown path) or fails. Each connection is
+// served on its own goroutine.
+func (s *Service) Serve(ln net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, s); err != nil {
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}

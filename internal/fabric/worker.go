@@ -1,0 +1,377 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridtlb"
+	"hybridtlb/internal/persist"
+)
+
+// errUnregistered signals that the coordinator no longer recognizes
+// this worker; the fix is an immediate re-registration, not a backoff.
+var errUnregistered = errors.New("fabric: worker not registered with coordinator")
+
+// errVersionSkew is terminal: this binary can never register with that
+// coordinator, so redialing would loop forever.
+var errVersionSkew = errors.New("fabric: build version skew")
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the fabric RPC address to dial. Required.
+	Coordinator string
+	// Name is the advisory worker name (metric label); empty lets the
+	// coordinator assign one.
+	Name string
+	// Version is this build's identity; must match the coordinator.
+	Version string
+	// Parallelism bounds concurrency inside one cell's simulation
+	// (0: GOMAXPROCS). Cells are single simulations, so this mostly
+	// stays 0.
+	Parallelism int
+	// Store, when non-nil, is a local artifact cache: cells this worker
+	// (or a previous incarnation of it) already computed are served
+	// from disk instead of re-simulated.
+	Store *persist.ResultStore
+	// StoreMaxBytes, when positive with Store set, prunes the local
+	// cache oldest-first past this size after every completed cell.
+	StoreMaxBytes int64
+	// Retry is the per-cell retry policy for the local engine.
+	Retry hybridtlb.RetryPolicy
+	// Faults, when non-nil, injects seeded chaos into cell execution —
+	// reused here as worker-side fault injection for fabric tests.
+	Faults *hybridtlb.FaultInjector
+	// Heartbeat is the liveness ping interval (default 1s).
+	Heartbeat time.Duration
+	// Poll is the idle wait between lease requests when the coordinator
+	// has no work (default 250ms).
+	Poll time.Duration
+	// RedialBase/RedialMax bound the reconnect backoff
+	// (defaults 500ms / 15s).
+	RedialBase time.Duration
+	RedialMax  time.Duration
+	// Logger receives session and cell logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.RedialBase <= 0 {
+		c.RedialBase = 500 * time.Millisecond
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Worker is the fabric execution node: it registers with a
+// coordinator, pulls cell leases, runs each through the ordinary local
+// sweep engine, and uploads the engine-format payload. All state a
+// worker holds is reconstructible, so killing one at any instant loses
+// at most the cells it was mid-flight on — which the coordinator
+// re-enqueues.
+type Worker struct {
+	cfg   WorkerConfig
+	log   *slog.Logger
+	cells atomic.Uint64 // completed cells (logs/tests)
+}
+
+// NewWorker builds a Worker; call Run to start it.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fabric: WorkerConfig.Coordinator is required")
+	}
+	cfg = cfg.withDefaults()
+	return &Worker{cfg: cfg, log: cfg.Logger}, nil
+}
+
+// Cells returns how many cells this worker has completed (successfully
+// or with a reported error).
+func (w *Worker) Cells() uint64 { return w.cells.Load() }
+
+// Run drives the worker until ctx is canceled or the coordinator
+// rejects this build (version skew — terminal, since retrying cannot
+// help). Transport failures redial with capped exponential backoff; an
+// "unregistered" answer re-registers immediately.
+func (w *Worker) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	backoff := w.cfg.RedialBase
+	for {
+		err := w.session(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(err, errVersionSkew) {
+			return err
+		}
+		if errors.Is(err, errUnregistered) {
+			w.log.Info("coordinator forgot us; re-registering")
+			backoff = w.cfg.RedialBase
+			continue
+		}
+		w.log.Warn("coordinator session ended; redialing", "err", err, "backoff", backoff)
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return err
+		}
+		backoff *= 2
+		if backoff > w.cfg.RedialMax {
+			backoff = w.cfg.RedialMax
+		}
+	}
+}
+
+// session is one connect → register → lease-loop lifetime. It returns
+// when the transport breaks, the coordinator disowns us, or ctx ends.
+func (w *Worker) session(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", w.cfg.Coordinator)
+	if err != nil {
+		return err
+	}
+	client := rpc.NewClient(conn)
+	defer client.Close() // best-effort teardown; double-close after the lease loop is ErrShutdown, which is fine
+
+	var reg RegisterReply
+	err = call(ctx, client, ServiceName+".Register",
+		&RegisterArgs{Name: w.cfg.Name, Version: w.cfg.Version}, &reg)
+	if err != nil {
+		if strings.Contains(err.Error(), "version skew") {
+			return fmt.Errorf("%w: %v", errVersionSkew, err)
+		}
+		return err
+	}
+	w.log.Info("registered with coordinator",
+		"worker", reg.WorkerID, "name", reg.Name, "coordinator", w.cfg.Coordinator)
+
+	// The heartbeat loop owns a session-scoped context: when the
+	// coordinator stops recognizing us (or pings start failing) it
+	// cancels the lease loop with the cause.
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		w.heartbeatLoop(sctx, cancel, client, reg.WorkerID)
+	}()
+
+	err = w.leaseLoop(sctx, client, reg.WorkerID)
+	cancel(nil)
+	// Closing the client unblocks any in-flight heartbeat RPC so the
+	// join below cannot hang on a wedged connection.
+	if cerr := client.Close(); cerr != nil && !errors.Is(cerr, rpc.ErrShutdown) {
+		w.log.Debug("closing rpc client", "err", cerr)
+	}
+	hb.Wait()
+	if cause := context.Cause(sctx); cause != nil && ctx.Err() == nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
+	return err
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFunc, client *rpc.Client, id string) {
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var rep HeartbeatReply
+		if err := call(ctx, client, ServiceName+".Heartbeat", &HeartbeatArgs{WorkerID: id}, &rep); err != nil {
+			cancel(fmt.Errorf("fabric: heartbeat: %w", err))
+			return
+		}
+		if !rep.Known {
+			cancel(errUnregistered)
+			return
+		}
+	}
+}
+
+func (w *Worker) leaseLoop(ctx context.Context, client *rpc.Client, id string) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseReply
+		if err := call(ctx, client, ServiceName+".Lease", &LeaseArgs{WorkerID: id}, &lease); err != nil {
+			return err
+		}
+		switch lease.Status {
+		case StatusUnregistered:
+			return errUnregistered
+		case StatusIdle:
+			if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+				return err
+			}
+			continue
+		case StatusGranted:
+		default:
+			return fmt.Errorf("fabric: coordinator sent unknown lease status %q", lease.Status)
+		}
+
+		payload, cellErr := w.runCell(ctx, lease.Key, lease.Config)
+		if ctx.Err() != nil {
+			// Don't report a half-run cell; the coordinator's lease
+			// machinery recovers it.
+			return ctx.Err()
+		}
+		args := &CompleteArgs{WorkerID: id, LeaseID: lease.LeaseID, Key: lease.Key, Payload: payload}
+		if cellErr != nil {
+			args.Error = cellErr.Error()
+			args.Payload = nil
+		}
+		var rep CompleteReply
+		if err := call(ctx, client, ServiceName+".Complete", args, &rep); err != nil {
+			return err
+		}
+		w.cells.Add(1)
+		w.log.Info("cell completed",
+			"key", shortKey(lease.Key), "stolen", lease.Stolen,
+			"accepted", rep.Accepted, "failed", cellErr != nil)
+		w.prune()
+	}
+}
+
+// runCell executes one leased cell through a fresh local engine. The
+// capture store records the engine's write-through — those bytes are
+// the upload — and layers over the worker's optional disk cache so
+// repeat leases are store hits, not re-simulations.
+func (w *Worker) runCell(ctx context.Context, key string, rawCfg []byte) ([]byte, error) {
+	var cfg hybridtlb.SimulationConfig
+	if err := json.Unmarshal(rawCfg, &cfg); err != nil {
+		return nil, fmt.Errorf("fabric: decode cell config: %w", err)
+	}
+	capture := newCellStore(w.cfg.Store)
+	sw := hybridtlb.NewSweeper(hybridtlb.SweepOptions{
+		Parallelism: w.cfg.Parallelism,
+		Store:       capture,
+		Retry:       w.cfg.Retry,
+		Faults:      w.cfg.Faults,
+	})
+	results, err := sw.Run(ctx, []hybridtlb.SimulationConfig{cfg}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if results[0].Err != nil {
+		return nil, results[0].Err
+	}
+	payload, ok := capture.payload(key)
+	if !ok {
+		// The engine keys cells itself; a mismatch with the
+		// coordinator's key means the config mutated in transit.
+		return nil, fmt.Errorf("fabric: engine produced no payload under leased key %s", shortKey(key))
+	}
+	return payload, nil
+}
+
+// prune enforces the local cache cap after each completed cell.
+func (w *Worker) prune() {
+	if w.cfg.Store == nil || w.cfg.StoreMaxBytes <= 0 {
+		return
+	}
+	n, err := w.cfg.Store.Prune(w.cfg.StoreMaxBytes)
+	if err != nil {
+		w.log.Warn("local store prune failed", "err", err)
+	} else if n > 0 {
+		w.log.Info("local store pruned", "removed", n, "max_bytes", w.cfg.StoreMaxBytes)
+	}
+}
+
+// cellStore is the worker-side store seam: an in-memory capture of the
+// engine's write-through for the cell being executed, layered over the
+// optional persistent cache. Load promotes disk hits into memory so the
+// payload to upload is always available after a run, whether the cell
+// was simulated or cached.
+type cellStore struct {
+	mu   sync.Mutex
+	mem  map[string][]byte
+	disk *persist.ResultStore
+}
+
+func newCellStore(disk *persist.ResultStore) *cellStore {
+	return &cellStore{mem: make(map[string][]byte), disk: disk}
+}
+
+func (s *cellStore) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	p, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		return p, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	p, ok = s.disk.Load(key)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.mem[key] = p
+	s.mu.Unlock()
+	return p, true
+}
+
+func (s *cellStore) Save(key string, data []byte) error {
+	s.mu.Lock()
+	s.mem[key] = data
+	s.mu.Unlock()
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Save(key, data)
+}
+
+func (s *cellStore) payload(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.mem[key]
+	return p, ok
+}
+
+// call issues one RPC, honoring ctx: cancellation abandons the call
+// (the session teardown closes the client, reaping it).
+func call(ctx context.Context, client *rpc.Client, method string, args, reply any) error {
+	c := client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case done := <-c.Done:
+		return done.Error
+	}
+}
+
+// sleepCtx waits d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -18,7 +18,8 @@ import (
 const defaultSimPkgs = "internal/sim,internal/sweep,internal/tlb,internal/mmu," +
 	"internal/core,internal/mapping,internal/osmem,internal/workload," +
 	"internal/trace,internal/mem,internal/pagetable,internal/buddy,internal/report," +
-	"internal/persist,internal/benchparse"
+	"internal/persist,internal/benchparse,internal/fabric,internal/buildinfo," +
+	"cmd/tlbworker"
 
 // Determinism forbids nondeterminism sources in simulation packages:
 // wall-clock reads, the global math/rand generator, crypto/rand, and

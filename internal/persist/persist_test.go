@@ -201,6 +201,120 @@ func TestStoreConcurrentSaves(t *testing.T) {
 	}
 }
 
+// Prune must delete oldest-first until the cap fits, never touching
+// quarantine or temp files, and count what it removed.
+func TestStorePruneOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	var keys []string
+	var sizes []int64
+	for i := 0; i < 4; i++ {
+		key := testKey(fmt.Sprintf("prune-%d", i))
+		keys = append(keys, key)
+		if err := s.Save(key, []byte(fmt.Sprintf(`{"walks":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, key[:2], key+".json")
+		// Stamp ascending mtimes so "oldest" is deterministic.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	var total int64
+	for _, sz := range sizes {
+		total += sz
+	}
+
+	// Cap leaves room for all but the two oldest entries.
+	cap := total - sizes[0] - sizes[1]
+	removed, err := s.Prune(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("Prune removed %d entries, want 2", removed)
+	}
+	for i, key := range keys {
+		_, ok := s.Load(key)
+		if wantHit := i >= 2; ok != wantHit {
+			t.Errorf("after prune, Load(key %d) hit=%v, want %v", i, ok, wantHit)
+		}
+	}
+	if st := s.Stats(); st.Pruned != 2 {
+		t.Fatalf("stats = %+v, want Pruned=2", st)
+	}
+
+	// Under the cap: a no-op.
+	if removed, err := s.Prune(total); err != nil || removed != 0 {
+		t.Fatalf("Prune under cap = (%d, %v), want (0, nil)", removed, err)
+	}
+}
+
+func TestStorePruneSparesQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture a quarantined entry by corrupting a saved one.
+	key := testKey("quarantine-me")
+	if err := s.Save(key, []byte(`{"walks":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key[:2], key+".json")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Load(key) // quarantines
+
+	// Plant a stale temp file alongside a live entry.
+	live := testKey("live")
+	if err := s.Save(live, []byte(`{"walks":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, live[:2], ".tmp-stale")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap of zero evicts every live envelope — but nothing else.
+	removed, err := s.Prune(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("Prune removed %d entries, want 1 (the live envelope)", removed)
+	}
+	if q, err := os.ReadDir(filepath.Join(dir, "quarantine")); err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir = %d entries, err %v; want 1 untouched entry", len(q), err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("temp file removed by prune: %v", err)
+	}
+	// The store keeps working after a full eviction.
+	if err := s.Save(live, []byte(`{"walks":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(live); !ok {
+		t.Fatal("Load after post-prune Save missed")
+	}
+}
+
 func TestJournalAppendReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	j, recs, err := OpenJournal(path)

@@ -18,6 +18,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync/atomic"
 )
 
@@ -33,6 +35,7 @@ type StoreStats struct {
 	Corruptions uint64 // entries that failed version/key/checksum validation
 	Writes      uint64 // entries persisted successfully
 	WriteErrors uint64 // failed persists (callers degrade to memory-only)
+	Pruned      uint64 // entries removed by Prune to enforce a size cap
 }
 
 // ResultStore is a disk-backed content-addressed store keyed by the
@@ -53,6 +56,7 @@ type ResultStore struct {
 	corruptions atomic.Uint64
 	writes      atomic.Uint64
 	writeErrors atomic.Uint64
+	pruned      atomic.Uint64
 }
 
 // envelope is the on-disk wrapper. Sum is the hex SHA-256 of the
@@ -210,6 +214,85 @@ func (s *ResultStore) writeAtomic(p string, data []byte) error {
 	return nil
 }
 
+// Prune enforces a size cap on the store: when the envelopes under dir
+// total more than maxBytes, the oldest ones (by modification time, path
+// as a deterministic tie-break) are deleted until the total fits. The
+// quarantine directory and in-flight temp files are never touched. A
+// pruned entry is simply a future cache miss — the content-addressed
+// design means losing one can only cost a re-simulation, never
+// correctness — so long-running workers can cap their artifact cache
+// without coordination. Returns the number of entries removed.
+//
+// Concurrent Saves are safe: a Save racing a Prune either lands after
+// the scan (and survives) or is deleted as if it had been evicted.
+func (s *ResultStore) Prune(maxBytes int64) (int, error) {
+	if maxBytes < 0 {
+		return 0, nil
+	}
+	type entry struct {
+		path string
+		size int64
+		mod  int64 // UnixNano of the file's mtime
+	}
+	var entries []entry
+	var total int64
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A concurrently pruned/quarantined file is not a failure.
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			if path == s.quarantine {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".tmp-") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // vanished mid-walk; skip
+		}
+		entries = append(entries, entry{path: path, size: info.Size(), mod: info.ModTime().UnixNano()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("persist: prune scan: %w", err)
+	}
+	if total <= maxBytes {
+		return 0, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mod != entries[j].mod {
+			return entries[i].mod < entries[j].mod
+		}
+		return entries[i].path < entries[j].path
+	})
+	removed := 0
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				total -= e.size
+				continue
+			}
+			return removed, fmt.Errorf("persist: prune %s: %w", e.path, err)
+		}
+		total -= e.size
+		removed++
+		s.pruned.Add(1)
+	}
+	return removed, nil
+}
+
 // Stats returns a snapshot of the store's counters.
 func (s *ResultStore) Stats() StoreStats {
 	return StoreStats{
@@ -218,5 +301,6 @@ func (s *ResultStore) Stats() StoreStats {
 		Corruptions: s.corruptions.Load(),
 		Writes:      s.writes.Load(),
 		WriteErrors: s.writeErrors.Load(),
+		Pruned:      s.pruned.Load(),
 	}
 }

@@ -215,6 +215,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE tlbserver_store_write_errors_total counter")
 	fmt.Fprintf(w, "tlbserver_store_write_errors_total %d\n", g.store.WriteErrors)
 
+	fmt.Fprintln(w, "# HELP tlbserver_store_pruned_total Durable-store envelopes removed by the -store-max-bytes size cap.")
+	fmt.Fprintln(w, "# TYPE tlbserver_store_pruned_total counter")
+	fmt.Fprintf(w, "tlbserver_store_pruned_total %d\n", g.store.Pruned)
+
 	fmt.Fprintln(w, "# HELP tlbserver_job_epochs Epoch-boundary samples observed so far by each running sweep job (cardinality bounded by the worker pool).")
 	fmt.Fprintln(w, "# TYPE tlbserver_job_epochs gauge")
 	jobIDs := make([]string, 0, len(g.jobEpochs))

@@ -74,6 +74,17 @@ type Config struct {
 	// jobs and resumes interrupted ones (re-simulating only cells not
 	// yet in the store). Empty: memory-only, the previous behavior.
 	StateDir string
+	// PersistStore, when non-nil, substitutes an already-open result
+	// store for the one New would open under StateDir — the seam that
+	// lets the fabric coordinator and the HTTP server share one
+	// content-addressed store instance (and its counters). The journal
+	// still comes from StateDir when that is also set.
+	PersistStore *persist.ResultStore
+	// StoreMaxBytes, when positive, caps the result store's on-disk
+	// size: after every finished job the oldest envelopes are pruned
+	// until the store fits (see persist.ResultStore.Prune). Zero:
+	// unbounded, the previous behavior.
+	StoreMaxBytes int64
 	// SSEKeepAlive is the idle interval between ": keepalive" comment
 	// lines on event streams, so proxies don't reap quiet connections
 	// (default 15s; negative disables).
@@ -89,6 +100,11 @@ type Config struct {
 	// hybridtlb.Sweeper with SweepParallelism, wired to the StateDir
 	// store when one is configured).
 	Runner Runner
+	// ExtraMetrics, when non-nil, is invoked at the end of every
+	// /metrics render to append additional Prometheus-text families —
+	// the seam through which the fabric coordinator exposes its
+	// membership and lease counters on the server's endpoint.
+	ExtraMetrics func(w io.Writer)
 }
 
 func (c Config) withDefaults() Config {
@@ -175,12 +191,15 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	var replayed []persist.Record
+	s.persistStore = cfg.PersistStore
 	if cfg.StateDir != "" {
-		store, err := persist.OpenStore(filepath.Join(cfg.StateDir, "store"))
-		if err != nil {
-			return nil, fmt.Errorf("server: %w", err)
+		if s.persistStore == nil {
+			store, err := persist.OpenStore(filepath.Join(cfg.StateDir, "store"))
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			s.persistStore = store
 		}
-		s.persistStore = store
 		journal, recs, err := persist.OpenJournal(filepath.Join(cfg.StateDir, "journal.jsonl"))
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -518,6 +537,7 @@ func (s *Server) runJob(base context.Context, j *job) {
 	s.journalState(j.id, string(state), errMsg)
 	s.noteEvictions(s.store.enforceCap())
 	s.metrics.observeJob(state)
+	s.pruneStore()
 
 	stats := s.runner.Stats()
 	s.log.Info("sweep finished",
@@ -682,6 +702,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, g)
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(w)
+	}
+}
+
+// pruneStore enforces Config.StoreMaxBytes after a job finishes. A
+// failed prune is logged and tolerated: an oversized cache degrades
+// disk usage, not service.
+func (s *Server) pruneStore() {
+	if s.persistStore == nil || s.cfg.StoreMaxBytes <= 0 {
+		return
+	}
+	n, err := s.persistStore.Prune(s.cfg.StoreMaxBytes)
+	if err != nil {
+		s.log.Warn("store prune failed", "err", err)
+	} else if n > 0 {
+		s.log.Info("store pruned to size cap", "removed", n, "max_bytes", s.cfg.StoreMaxBytes)
+	}
 }
 
 // Close releases durable-state resources (the journal file); call it
