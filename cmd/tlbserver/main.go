@@ -162,7 +162,13 @@ func main() {
 
 	// Fabric side: RPC listener for workers plus the ticker goroutine
 	// that advances the coordinator's clock (the coordinator itself is
-	// clock-free; all lease timing counts these ticks).
+	// clock-free; all lease timing counts these ticks). The ticker runs
+	// on its own context, not the signal context: in-flight sweeps keep
+	// executing during the drain window and still need dead-worker
+	// detection, lease expiry, and the empty-fleet fallback, so the
+	// clock stops only after the drain completes.
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	defer stopTick()
 	var fabricLn net.Listener
 	if coord != nil {
 		var err error
@@ -184,7 +190,7 @@ func main() {
 			defer t.Stop()
 			for {
 				select {
-				case <-ctx.Done():
+				case <-tickCtx.Done():
 					return
 				case <-t.C:
 					coord.Tick()
@@ -220,6 +226,7 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := srv.Drain(shutdownCtx)
+	stopTick()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Warn("http shutdown", "err", err)
 	}

@@ -189,6 +189,16 @@ func (c *Coordinator) Run(ctx context.Context, cfgs []hybridtlb.SimulationConfig
 	enqueued := 0
 	for _, w := range misses {
 		cl := c.cells[w.key]
+		if cl != nil && cl.resolved {
+			// A cell can stay resolved in c.cells while a lease is still
+			// outstanding (abandoned run, failure-budget fallback, empty-
+			// fleet fallback). Attaching to it would never be credited —
+			// complete() refuses the stale lease and every recovery path
+			// skips resolved cells — so defer it to local assembly now.
+			r.resolved += r.pending[w.key]
+			delete(r.pending, w.key)
+			continue
+		}
 		if cl == nil {
 			raw, err := json.Marshal(w.cfg)
 			if err != nil {
@@ -337,17 +347,19 @@ func (c *Coordinator) failRemoteLocked(cl *cell) []notify {
 	return nil
 }
 
-// register admits a worker, enforcing build-version agreement. The
-// returned worker ID is the handle for every later call; the (possibly
-// suffixed) name is the worker's metric label.
-func (c *Coordinator) register(args *RegisterArgs) (RegisterReply, error) {
+// register admits a worker, enforcing build-version agreement: a
+// mismatched build gets a VersionSkew reply (not an RPC error, so the
+// worker can detect it without string matching). The returned worker
+// ID is the handle for every later call; the (possibly suffixed) name
+// is the worker's metric label.
+func (c *Coordinator) register(args *RegisterArgs) RegisterReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if args.Version != c.cfg.Version {
 		c.counters.rejected++
-		return RegisterReply{}, fmt.Errorf(
-			"fabric: version skew: coordinator runs %q, worker offers %q; deploy matching builds",
-			c.cfg.Version, args.Version)
+		c.log.Warn("worker registration refused for version skew",
+			"coordinator_version", c.cfg.Version, "worker_version", args.Version)
+		return RegisterReply{CoordinatorVersion: c.cfg.Version, VersionSkew: true}
 	}
 	c.seq++
 	name := args.Name
@@ -366,7 +378,7 @@ func (c *Coordinator) register(args *RegisterArgs) (RegisterReply, error) {
 	id := fmt.Sprintf("w-%d", c.seq)
 	c.workers[id] = &workerState{id: id, name: name, version: args.Version, lastBeat: c.tick}
 	c.zeroSince = 0
-	return RegisterReply{WorkerID: id, Name: name, CoordinatorVersion: c.cfg.Version}, nil
+	return RegisterReply{WorkerID: id, Name: name, CoordinatorVersion: c.cfg.Version}
 }
 
 // heartbeat refreshes a worker's liveness; Known=false tells the worker
@@ -441,27 +453,32 @@ func (c *Coordinator) grantLocked(w *workerState, cl *cell, stolen bool) LeaseRe
 // the shared store (outside the lock) and resolves the cell; a reported
 // error goes through the failure policy. Stale leases — already expired,
 // stolen-and-finished by the other holder, or from a worker declared
-// dead — are refused with Accepted=false.
+// dead — answer Accepted=false, but an error-free payload is salvaged
+// into the store anyway: results are content-addressed, so the bytes
+// are valid regardless of lease state, and saving them spares a full
+// re-simulation of a cell that may already be back in the queue.
 func (c *Coordinator) complete(args *CompleteArgs) CompleteReply {
 	c.mu.Lock()
 	if w := c.workers[args.WorkerID]; w != nil && !w.dead {
 		w.lastBeat = c.tick
 	}
 	l := c.leases[args.LeaseID]
-	if l == nil || l.worker != args.WorkerID || l.key != args.Key {
-		c.mu.Unlock()
-		return CompleteReply{Accepted: false}
+	live := l != nil && l.worker == args.WorkerID && l.key == args.Key
+	if live {
+		c.dropLeaseLocked(l)
 	}
-	c.dropLeaseLocked(l)
-	cl := c.cells[l.key]
-	if cl == nil || cl.resolved {
+	cl := c.cells[args.Key]
+	stale := !live || cl == nil || cl.resolved
+	if stale {
 		if cl != nil && cl.resolved && cl.leases == 0 {
-			delete(c.cells, cl.key)
+			delete(c.cells, args.Key)
 		}
-		c.mu.Unlock()
-		return CompleteReply{Accepted: false}
-	}
-	if args.Error != "" {
+		if args.Error != "" || len(args.Payload) == 0 {
+			// Nothing to salvage.
+			c.mu.Unlock()
+			return CompleteReply{Accepted: false}
+		}
+	} else if args.Error != "" {
 		ns := c.failRemoteLocked(cl)
 		c.mu.Unlock()
 		fire(ns)
@@ -471,8 +488,8 @@ func (c *Coordinator) complete(args *CompleteArgs) CompleteReply {
 	c.mu.Unlock()
 
 	// The store write happens outside the lock; persist's atomic rename
-	// makes a racing duplicate upload (steal) benign — both write the
-	// same bytes under the same key.
+	// makes a racing duplicate upload (steal, or a stale-lease salvage)
+	// benign — both write the same bytes under the same key.
 	saveErr := c.store.Save(args.Key, args.Payload)
 
 	c.mu.Lock()
@@ -481,12 +498,12 @@ func (c *Coordinator) complete(args *CompleteArgs) CompleteReply {
 	cl = c.cells[args.Key]
 	if saveErr != nil {
 		c.counters.uploadErrors++
-		if cl != nil && !cl.resolved {
+		if !stale && cl != nil && !cl.resolved {
 			ns = c.failRemoteLocked(cl)
 		}
 	} else {
 		c.counters.uploads++
-		accepted = true
+		accepted = !stale
 		if cl != nil && !cl.resolved {
 			ns = c.resolveLocked(cl)
 		}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"net"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -104,15 +103,53 @@ func leaseEventually(t *testing.T, c *Coordinator, workerID string) LeaseReply {
 
 func TestRegisterRejectsVersionSkew(t *testing.T) {
 	c := newTestCoordinator(t)
-	_, err := c.register(&RegisterArgs{Name: "w", Version: "other-build"})
-	if err == nil || !strings.Contains(err.Error(), "version skew") {
-		t.Fatalf("register with mismatched version = %v, want version-skew error", err)
+	rep := c.register(&RegisterArgs{Name: "w", Version: "other-build"})
+	if !rep.VersionSkew || rep.WorkerID != "" {
+		t.Fatalf("register with mismatched version = %+v, want a VersionSkew rejection", rep)
+	}
+	if rep.CoordinatorVersion != testVersion {
+		t.Fatalf("skew reply CoordinatorVersion = %q, want %q", rep.CoordinatorVersion, testVersion)
 	}
 	if s := c.Snapshot(); s.Rejected != 1 || s.WorkersLive != 0 {
 		t.Fatalf("snapshot = %+v, want 1 rejection, 0 live workers", s)
 	}
-	if _, err := c.register(&RegisterArgs{Name: "w", Version: testVersion}); err != nil {
-		t.Fatalf("register with matching version failed: %v", err)
+	if rep := c.register(&RegisterArgs{Name: "w", Version: testVersion}); rep.VersionSkew || rep.WorkerID == "" {
+		t.Fatalf("register with matching version = %+v, want admission", rep)
+	}
+}
+
+// A worker offering a mismatched build must exit terminally through
+// the structured VersionSkew reply field — not fall into the redial
+// loop on an unrecognized error string.
+func TestWorkerVersionSkewTerminal(t *testing.T) {
+	c := newTestCoordinator(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go NewService(c).Serve(ln) //nolint:errcheck // returns nil when ln closes
+
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: ln.Addr().String(),
+		Name:        "skewed",
+		Version:     "other-build",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run(context.Background()) }()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, errVersionSkew) {
+			t.Fatalf("skewed worker exited with %v, want errVersionSkew", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("skewed worker kept retrying instead of exiting terminally")
+	}
+	if s := c.Snapshot(); s.Rejected == 0 || s.WorkersLive != 0 {
+		t.Fatalf("snapshot = %+v, want a rejection and no live workers", s)
 	}
 }
 
@@ -120,10 +157,7 @@ func TestRegisterRejectsVersionSkew(t *testing.T) {
 // the queue, where the next asking worker picks it up.
 func TestLeaseExpiryReenqueues(t *testing.T) {
 	c := newTestCoordinator(t)
-	reg, err := c.register(&RegisterArgs{Name: "w1", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := c.register(&RegisterArgs{Name: "w1", Version: testVersion})
 	cfg := testCfg("anchor", "demand")
 	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
 
@@ -174,14 +208,8 @@ func TestLeaseExpiryReenqueues(t *testing.T) {
 // re-enqueued for the survivors.
 func TestDeadWorkerRecovery(t *testing.T) {
 	c := newTestCoordinator(t)
-	doomed, err := c.register(&RegisterArgs{Name: "doomed", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
-	survivor, err := c.register(&RegisterArgs{Name: "survivor", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
+	doomed := c.register(&RegisterArgs{Name: "doomed", Version: testVersion})
+	survivor := c.register(&RegisterArgs{Name: "survivor", Version: testVersion})
 	cfg := testCfg("colt", "medium")
 	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
 
@@ -227,14 +255,8 @@ func TestDeadWorkerRecovery(t *testing.T) {
 // duplicated, first completion wins, the loser is refused.
 func TestStragglerSteal(t *testing.T) {
 	c := newTestCoordinator(t)
-	slow, err := c.register(&RegisterArgs{Name: "slow", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
-	fast, err := c.register(&RegisterArgs{Name: "fast", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
+	slow := c.register(&RegisterArgs{Name: "slow", Version: testVersion})
+	fast := c.register(&RegisterArgs{Name: "fast", Version: testVersion})
 	cfg := testCfg("thp", "demand")
 	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
 
@@ -258,10 +280,7 @@ func TestStragglerSteal(t *testing.T) {
 		t.Fatalf("snapshot = %+v, want 1 steal", s)
 	}
 	// At most one duplicate: a third worker cannot steal again.
-	third, err := c.register(&RegisterArgs{Name: "third", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
+	third := c.register(&RegisterArgs{Name: "third", Version: testVersion})
 	if rep := c.leaseFor(&LeaseArgs{WorkerID: third.WorkerID}); rep.Status != StatusIdle {
 		t.Fatalf("double-steal attempt = %s, want idle", rep.Status)
 	}
@@ -331,10 +350,7 @@ func TestLocalFallbackWithoutWorkers(t *testing.T) {
 // simulation instead of looping forever through the queue.
 func TestRemoteFailureBudget(t *testing.T) {
 	c := newTestCoordinator(t)
-	reg, err := c.register(&RegisterArgs{Name: "flaky", Version: testVersion})
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := c.register(&RegisterArgs{Name: "flaky", Version: testVersion})
 	cfg := testCfg("colt", "demand")
 	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
 
@@ -351,6 +367,92 @@ func TestRemoteFailureBudget(t *testing.T) {
 	s := c.Snapshot()
 	if s.RemoteFailed != 2 || s.LocalFallback != 1 {
 		t.Fatalf("snapshot = %+v, want 2 remote failures then 1 local fallback", s)
+	}
+}
+
+// A cell resolved while a lease is still outstanding (here: its only
+// interested run is canceled) lingers in c.cells until the lease
+// comes back. A later Run wanting the same key must not attach to
+// that zombie — it would block forever, since every recovery path
+// skips resolved cells — but defer it to local assembly instead.
+func TestRunAfterAbandonedCellWithOutstandingLease(t *testing.T) {
+	c := newTestCoordinator(t)
+	reg := c.register(&RegisterArgs{Name: "w", Version: testVersion})
+	cfg := testCfg("anchor", "demand")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out1 := make(chan runOutcome, 1)
+	go func() {
+		res, err := c.Run(ctx, []hybridtlb.SimulationConfig{cfg}, nil)
+		out1 <- runOutcome{res, err}
+	}()
+	l := leaseEventually(t, c, reg.WorkerID)
+	cancel()
+	<-out1 // abandon has run: the cell is resolved, the lease still out
+
+	c.mu.Lock()
+	cl := c.cells[l.Key]
+	zombie := cl != nil && cl.resolved && cl.leases > 0
+	c.mu.Unlock()
+	if !zombie {
+		t.Fatal("abandon did not leave a resolved cell with an outstanding lease")
+	}
+
+	// The second sweep for the same key must complete without any
+	// worker activity (local assembly), not hang on the zombie.
+	out2 := startRun(c, []hybridtlb.SimulationConfig{cfg})
+	select {
+	case o := <-out2:
+		if o.err != nil || len(o.results) != 1 || o.results[0].Err != nil {
+			t.Fatalf("run = (%+v, %v), want one clean cell", o.results, o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second run blocked on the zombie resolved cell")
+	}
+}
+
+// A successful payload arriving on an expired lease must not be
+// discarded: the bytes are content-addressed, so the coordinator
+// salvages them into the store and the waiting run resolves without
+// re-simulating the cell.
+func TestStaleCompletionSalvagesPayload(t *testing.T) {
+	c := newTestCoordinator(t)
+	reg := c.register(&RegisterArgs{Name: "late", Version: testVersion})
+	cfg := testCfg("base", "medium")
+	out := startRun(c, []hybridtlb.SimulationConfig{cfg})
+
+	l := leaseEventually(t, c, reg.WorkerID)
+
+	// Expire the lease (the worker keeps heartbeating — this is lease
+	// staleness, not death); the cell goes back in the queue.
+	for i := 0; i < 12; i++ {
+		c.heartbeat(&HeartbeatArgs{WorkerID: reg.WorkerID})
+		c.Tick()
+	}
+	if s := c.Snapshot(); s.Expired != 1 || s.Reenqueued != 1 {
+		t.Fatalf("snapshot = %+v, want the lease expired and the cell re-enqueued", s)
+	}
+
+	// The straggler finishes anyway. The lease is stale (Accepted=false)
+	// but the payload must land in the store and resolve the cell.
+	_, payload := computePayload(t, cfg)
+	if rep := c.complete(&CompleteArgs{WorkerID: reg.WorkerID, LeaseID: l.LeaseID, Key: l.Key, Payload: payload}); rep.Accepted {
+		t.Fatal("stale completion reported as accepted")
+	}
+	if _, ok := c.store.Load(l.Key); !ok {
+		t.Fatal("stale completion's payload was not salvaged into the store")
+	}
+
+	o := <-out
+	if o.err != nil || len(o.results) != 1 || o.results[0].Err != nil {
+		t.Fatalf("run = (%+v, %v), want one clean cell", o.results, o.err)
+	}
+	s := c.Snapshot()
+	if s.Uploads != 1 {
+		t.Fatalf("snapshot = %+v, want the salvage counted as an upload", s)
+	}
+	if s.LocalFallback != 0 {
+		t.Fatalf("snapshot = %+v, want no local fallback (the salvage resolved the cell)", s)
 	}
 }
 

@@ -31,11 +31,16 @@ type RegisterArgs struct {
 	Version string
 }
 
-// RegisterReply carries the worker's assigned identity.
+// RegisterReply carries the worker's assigned identity — or, with
+// VersionSkew set, a structured rejection: the worker's build does not
+// match the coordinator's and no amount of retrying can help. Skew is
+// a reply field rather than an RPC error so workers detect it
+// machine-checkably instead of parsing error strings.
 type RegisterReply struct {
 	WorkerID           string
 	Name               string
 	CoordinatorVersion string
+	VersionSkew        bool
 }
 
 // LeaseArgs requests one cell of work.
@@ -68,8 +73,9 @@ type CompleteArgs struct {
 
 // CompleteReply acknowledges a completion. Accepted=false means the
 // lease was stale (expired, superseded by a steal, or from a dead
-// worker) and the result was discarded — harmless, since the winning
-// copy is byte-identical.
+// worker); an error-free payload is still salvaged into the shared
+// store, since content-addressed results are valid regardless of
+// lease state.
 type CompleteReply struct {
 	Accepted bool
 }
@@ -95,13 +101,9 @@ type Service struct {
 // NewService wraps a Coordinator for RPC exposure.
 func NewService(c *Coordinator) *Service { return &Service{c: c} }
 
-// Register admits a worker (or rejects it for version skew).
+// Register admits a worker, or reports version skew in the reply.
 func (s *Service) Register(args *RegisterArgs, reply *RegisterReply) error {
-	r, err := s.c.register(args)
-	if err != nil {
-		return err
-	}
-	*reply = r
+	*reply = s.c.register(args)
 	return nil
 }
 

@@ -8,7 +8,6 @@ import (
 	"log/slog"
 	"net"
 	"net/rpc"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,10 +154,11 @@ func (w *Worker) session(ctx context.Context) error {
 	err = call(ctx, client, ServiceName+".Register",
 		&RegisterArgs{Name: w.cfg.Name, Version: w.cfg.Version}, &reg)
 	if err != nil {
-		if strings.Contains(err.Error(), "version skew") {
-			return fmt.Errorf("%w: %v", errVersionSkew, err)
-		}
 		return err
+	}
+	if reg.VersionSkew {
+		return fmt.Errorf("%w: coordinator runs %q, this worker is %q; deploy matching builds",
+			errVersionSkew, reg.CoordinatorVersion, w.cfg.Version)
 	}
 	w.log.Info("registered with coordinator",
 		"worker", reg.WorkerID, "name", reg.Name, "coordinator", w.cfg.Coordinator)
