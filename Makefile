@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fabric-test bench bench-json experiments serve lint tools
+.PHONY: check vet build test race fabric-test bench bench-json experiments serve lint tools allocgate
 
-check: vet build lint race fabric-test
+check: vet build lint allocgate race fabric-test
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +15,17 @@ tools:
 	$(GO) build -o bin/tlbvet ./cmd/tlbvet
 
 # lint runs tlbvet, the project's custom go/analysis passes
-# (determinism, ctxflow, locksafe, closecheck, noprint — see DESIGN.md
-# "Project invariants & static analysis").
+# (determinism, ctxflow, locksafe, closecheck, noprint, allocfree,
+# rpcsafe, lifecycle, metriclint — see DESIGN.md "Project invariants &
+# static analysis").
 lint: tools
 	$(GO) vet -vettool=bin/tlbvet ./...
+
+# allocgate proves every //tlbvet:hotpath region escape-free with the
+# compiler's own analysis (`go build -gcflags=-m`), gated by the
+# committed ALLOCGATE.allow (empty: no excused escapes).
+allocgate:
+	$(GO) run ./cmd/allocgate
 
 build:
 	$(GO) build ./...

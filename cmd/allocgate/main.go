@@ -1,0 +1,296 @@
+// Command allocgate proves the //tlbvet:hotpath regions allocation-free
+// with the compiler's own escape analysis. It is the dynamic complement
+// to tlbvet's allocfree pass: allocfree rejects allocation-shaped
+// syntax, allocgate parses `go build -gcflags=-m` and fails on any
+// "escapes to heap"/"moved to heap" diagnostic whose position falls
+// inside an annotated function or loop, unless a committed allowlist
+// entry (ALLOCGATE.allow) explicitly absolves it.
+//
+//	allocgate            # scan the module, gate every hotpath region
+//	allocgate -v         # also list the regions and clean packages
+//
+// Exit status: 0 when every hotpath region is escape-free (or
+// allowlisted), 1 otherwise, 2 on usage/toolchain errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// region is one annotated hotpath span in module-relative file
+// coordinates.
+type region struct {
+	file       string // module-relative path, e.g. internal/sim/sim.go
+	name       string // function name or "<name> loop@line"
+	start, end int    // inclusive line range
+}
+
+func main() {
+	allowPath := flag.String("allow", "ALLOCGATE.allow", "committed escape allowlist")
+	verbose := flag.Bool("v", false, "list regions and per-package results")
+	flag.Parse()
+
+	regions, err := collectRegions(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(2)
+	}
+	if len(regions) == 0 {
+		fmt.Fprintln(os.Stderr, "allocgate: no //tlbvet:hotpath regions found; nothing to gate")
+		os.Exit(2)
+	}
+	allow, err := loadAllowlist(*allowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(2)
+	}
+
+	pkgSet := map[string]bool{}
+	for _, r := range regions {
+		pkgSet[filepath.Dir(r.file)] = true
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, "./"+p)
+	}
+	sort.Strings(pkgs)
+
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: go %s failed:\n%s", strings.Join(args, " "), out)
+		os.Exit(2)
+	}
+
+	if *verbose {
+		for _, r := range regions {
+			fmt.Fprintf(os.Stderr, "allocgate: region %s:%d-%d (%s)\n", r.file, r.start, r.end, r.name)
+		}
+	}
+
+	violations, usedAllow := gate(string(out), regions, allow)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "allocgate: FAIL:", v)
+	}
+	for _, a := range allow {
+		if !usedAllow[a] {
+			fmt.Fprintf(os.Stderr, "allocgate: note: allowlist entry %q matched nothing (stale?)\n", a)
+		}
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "allocgate: %d escape(s) inside hotpath regions (%d regions, %d packages)\n",
+			len(violations), len(regions), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "allocgate: OK — %d hotpath regions across %d packages are escape-free\n",
+		len(regions), len(pkgs))
+}
+
+const directive = "tlbvet:hotpath"
+
+func isDirective(text string) bool {
+	t := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	return t == directive || strings.HasPrefix(t, directive+" ")
+}
+
+// collectRegions parses every non-test module source file and returns
+// the annotated functions and loops, mirroring the allocfree pass's
+// matching rules (doc comment for functions, line-above for loops).
+func collectRegions(root string) ([]region, error) {
+	var regions []region
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "vendor" || name == "testdata" || name == "bin" ||
+				(len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rs, err := fileRegions(rel, path)
+		if err != nil {
+			return err
+		}
+		regions = append(regions, rs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].file != regions[j].file {
+			return regions[i].file < regions[j].file
+		}
+		return regions[i].start < regions[j].start
+	})
+	return regions, nil
+}
+
+func fileRegions(rel, path string) ([]region, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", rel, err)
+	}
+	directiveLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if isDirective(c.Text) {
+				directiveLines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	if len(directiveLines) == 0 {
+		return nil, nil
+	}
+	var regions []region
+	claimed := func(pos token.Pos, doc *ast.CommentGroup) bool {
+		if doc != nil {
+			for _, c := range doc.List {
+				if isDirective(c.Text) {
+					return true
+				}
+			}
+		}
+		return directiveLines[fset.Position(pos).Line-1]
+	}
+	var funcName string
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			funcName = n.Name.Name
+			if n.Body != nil && claimed(n.Pos(), n.Doc) {
+				regions = append(regions, region{
+					file:  rel,
+					name:  funcName,
+					start: fset.Position(n.Pos()).Line,
+					end:   fset.Position(n.End()).Line,
+				})
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			if claimed(n.Pos(), nil) {
+				start := fset.Position(n.Pos()).Line
+				regions = append(regions, region{
+					file:  rel,
+					name:  fmt.Sprintf("%s loop@%d", funcName, start),
+					start: start,
+					end:   fset.Position(n.End()).Line,
+				})
+			}
+		}
+		return true
+	})
+	return regions, nil
+}
+
+// escapeLine matches compiler diagnostics: path:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// gate returns the escape diagnostics that land inside a hotpath
+// region and are not excused by the allowlist.
+func gate(output string, regions []region, allow []string) (violations []string, used map[string]bool) {
+	used = map[string]bool{}
+	for _, line := range strings.Split(output, "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := filepath.ToSlash(strings.TrimPrefix(m[1], "./"))
+		lineNo := atoi(m[2])
+		r := findRegion(regions, file, lineNo)
+		if r == nil {
+			continue
+		}
+		rendered := fmt.Sprintf("%s:%s:%s: %s (hotpath region %s)", file, m[2], m[3], msg, r.name)
+		if a := allowMatch(allow, file, msg); a != "" {
+			used[a] = true
+			continue
+		}
+		violations = append(violations, rendered)
+	}
+	sort.Strings(violations)
+	return violations, used
+}
+
+func findRegion(regions []region, file string, line int) *region {
+	// Innermost match wins (a loop region inside an annotated file).
+	var best *region
+	for i := range regions {
+		r := &regions[i]
+		if r.file == file && r.start <= line && line <= r.end {
+			if best == nil || r.end-r.start < best.end-best.start {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// loadAllowlist reads entries of the form "<file>: <message substring>".
+// Blank lines and #-comments are skipped. A missing file is an empty
+// allowlist — the gate's default posture.
+func loadAllowlist(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, ":") {
+			return nil, fmt.Errorf("%s:%d: allowlist entry %q is not \"<file>: <message substring>\"", path, i+1, line)
+		}
+		entries = append(entries, line)
+	}
+	return entries, nil
+}
+
+func allowMatch(allow []string, file, msg string) string {
+	for _, a := range allow {
+		i := strings.Index(a, ":")
+		af, asub := strings.TrimSpace(a[:i]), strings.TrimSpace(a[i+1:])
+		if af == file && asub != "" && strings.Contains(msg, asub) {
+			return a
+		}
+	}
+	return ""
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGateFiltersByRegionAndAllowlist(t *testing.T) {
+	regions := []region{
+		{file: "internal/tlb/tlb.go", name: "Lookup", start: 10, end: 30},
+		{file: "internal/sim/sim.go", name: "drive loop@80", start: 80, end: 120},
+	}
+	output := strings.Join([]string{
+		"# hybridtlb/internal/tlb",
+		"internal/tlb/tlb.go:15:6: e escapes to heap",             // inside Lookup
+		"internal/tlb/tlb.go:50:3: buf escapes to heap",           // outside any region
+		"internal/tlb/tlb.go:20:9: can inline (*Cache).Lookup",    // not an escape
+		"internal/sim/sim.go:90:14: moved to heap: recs",          // inside the loop
+		"internal/sim/sim.go:95:2: allowed thing escapes to heap", // allowlisted
+		"garbage line without position",
+	}, "\n")
+	allow := []string{"internal/sim/sim.go: allowed thing"}
+
+	violations, used := gate(output, regions, allow)
+	if len(violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(violations), violations)
+	}
+	if !strings.Contains(violations[0], "moved to heap: recs") || !strings.Contains(violations[0], "drive loop@80") {
+		t.Errorf("loop-region violation malformed: %s", violations[0])
+	}
+	if !strings.Contains(violations[1], "tlb.go:15:6") || !strings.Contains(violations[1], "hotpath region Lookup") {
+		t.Errorf("function-region violation malformed: %s", violations[1])
+	}
+	if !used[allow[0]] {
+		t.Error("matching allowlist entry not marked used")
+	}
+}
+
+func TestFileRegionsMatchesDirectivePlacement(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+//tlbvet:hotpath
+func hot() {}
+
+// doc prose first.
+//
+//tlbvet:hotpath
+func docHot() {}
+
+func loops(xs []int) {
+	//tlbvet:hotpath
+	for range xs {
+	}
+	for range xs { // unannotated
+	}
+}
+`
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := fileRegions("p.go", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions, want 3: %v", len(regions), regions)
+	}
+	if regions[0].name != "hot" || regions[1].name != "docHot" || !strings.HasPrefix(regions[2].name, "loops loop@") {
+		t.Errorf("unexpected region names: %v", regions)
+	}
+	if regions[2].start != 13 || regions[2].end != 14 {
+		t.Errorf("loop region spans %d-%d, want 13-14", regions[2].start, regions[2].end)
+	}
+}
+
+func TestLoadAllowlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.allow")
+	content := "# comment\n\ninternal/x/y.go: some escape\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != "internal/x/y.go: some escape" {
+		t.Errorf("entries = %v", entries)
+	}
+
+	// Missing file is the default empty allowlist.
+	entries, err = loadAllowlist(filepath.Join(dir, "missing"))
+	if err != nil || entries != nil {
+		t.Errorf("missing allowlist: entries=%v err=%v", entries, err)
+	}
+
+	// Malformed entries are rejected loudly, not ignored.
+	if err := os.WriteFile(path, []byte("no colon here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadAllowlist(path); err == nil {
+		t.Error("colonless entry accepted")
+	}
+}

@@ -7,7 +7,11 @@
 //
 // The artifact records ns/access and allocs/access for every scheme's
 // serial and batched hot-path variant; a run without -benchmem (or with
-// no hot-path rows at all) fails instead of writing a hollow file.
+// no hot-path rows at all) fails instead of writing a hollow file. By
+// default (-require-zero-allocs) the run also fails if any scheme's
+// batched variant reports a nonzero allocs- or bytes-per-access figure,
+// turning the bench artifact into a CI proof that the //tlbvet:hotpath
+// regions stay allocation-free at runtime.
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output artifact path")
+	requireZeroAllocs := flag.Bool("require-zero-allocs", true,
+		"fail if any scheme's batched hot-path variant reports allocs or bytes per access")
 	flag.Parse()
 
 	entries, err := benchparse.Parse(os.Stdin)
@@ -33,6 +39,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *requireZeroAllocs {
+		if err := benchparse.RequireZeroAllocs(rep, "batched"); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

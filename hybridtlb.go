@@ -24,6 +24,7 @@ package hybridtlb
 
 import (
 	"fmt"
+	"sort"
 
 	"hybridtlb/internal/core"
 	"hybridtlb/internal/mem"
@@ -380,6 +381,10 @@ func SelectAnchorDistance(histogram map[uint64]uint64) uint64 {
 	for cont, freq := range histogram {
 		h = append(h, mem.HistogramBin{Contiguity: cont, Frequency: freq})
 	}
+	// Algorithm 1 accumulates per-bin float costs; summation order must
+	// not depend on map iteration order or the selected distance could
+	// differ across runs on cost ties within an ULP.
+	sort.Slice(h, func(i, j int) bool { return h[i].Contiguity < h[j].Contiguity })
 	d, _ := core.SelectDistance(h)
 	return d
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -137,4 +138,29 @@ func Pipeline(entries []Entry) (PipelineReport, error) {
 		return rep, fmt.Errorf("benchparse: no %s rows in input", pipelineBench)
 	}
 	return rep, nil
+}
+
+// RequireZeroAllocs fails if any scheme's named variant reports heap
+// allocations. It is the runtime half of the hot-path allocation proof:
+// tlbvet's allocfree pass and cmd/allocgate show the //tlbvet:hotpath
+// regions cannot allocate, and this check shows the measured batched
+// drive indeed did not. Schemes are checked in sorted order so the
+// error always names the same offender for a given report.
+func RequireZeroAllocs(rep PipelineReport, variant string) error {
+	schemes := make([]string, 0, len(rep.Schemes))
+	for s := range rep.Schemes {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, s := range schemes {
+		v, ok := rep.Schemes[s][variant]
+		if !ok {
+			return fmt.Errorf("benchparse: scheme %q has no %q variant to prove alloc-free", s, variant)
+		}
+		if v.AllocsPerAccess > 0 || v.BytesPerAccess > 0 {
+			return fmt.Errorf("benchparse: %s/%s allocates (%d allocs, %d B per access); the hot path must be allocation-free",
+				s, variant, v.AllocsPerAccess, v.BytesPerAccess)
+		}
+	}
+	return nil
 }

@@ -102,3 +102,36 @@ func TestPipelineRejectsMalformedRow(t *testing.T) {
 		t.Error("input without hot-path rows not rejected")
 	}
 }
+
+func TestRequireZeroAllocs(t *testing.T) {
+	rep := PipelineReport{Schemes: map[string]map[string]Variant{
+		"anchor": {"serial": {AllocsPerAccess: 3}, "batched": {}},
+		"base":   {"serial": {AllocsPerAccess: 2}, "batched": {}},
+	}}
+	if err := RequireZeroAllocs(rep, "batched"); err != nil {
+		t.Errorf("alloc-free batched variants rejected: %v", err)
+	}
+
+	// Serial variants allocate by design; only the named variant gates.
+	if err := RequireZeroAllocs(rep, "serial"); err == nil {
+		t.Error("allocating serial variant passed the zero-alloc gate")
+	}
+
+	rep.Schemes["colt"] = map[string]Variant{"batched": {AllocsPerAccess: 1, BytesPerAccess: 48}}
+	err := RequireZeroAllocs(rep, "batched")
+	if err == nil || !strings.Contains(err.Error(), "colt/batched") {
+		t.Errorf("allocating batched variant not named in error: %v", err)
+	}
+
+	// Bytes without allocs (amortized growth) still fails the proof.
+	rep.Schemes["colt"] = map[string]Variant{"batched": {BytesPerAccess: 8}}
+	if err := RequireZeroAllocs(rep, "batched"); err == nil {
+		t.Error("nonzero bytes/access passed the zero-alloc gate")
+	}
+
+	// A scheme missing the gated variant cannot claim the proof.
+	rep.Schemes["colt"] = map[string]Variant{"serial": {}}
+	if err := RequireZeroAllocs(rep, "batched"); err == nil {
+		t.Error("scheme without a batched variant passed the zero-alloc gate")
+	}
+}

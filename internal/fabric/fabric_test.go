@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net"
+	"net/rpc"
 	"sync"
 	"testing"
 	"time"
@@ -589,4 +590,51 @@ func TestFabricEndToEnd(t *testing.T) {
 
 	cancel()
 	wg.Wait()
+}
+
+// TestServeClosesConnectionsOnShutdown pins the Serve teardown path:
+// closing the listener must close every outstanding worker connection
+// and join the per-connection goroutines before Serve returns. Without
+// that, Serve's goroutines linger until the remote side hangs up —
+// which an idle heartbeating worker never does.
+func TestServeClosesConnectionsOnShutdown(t *testing.T) {
+	c := newTestCoordinator(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- NewService(c).Serve(ln) }()
+
+	client, err := rpc.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// A synchronous call proves the connection is live and being served
+	// before the listener goes down.
+	var reg RegisterReply
+	if err := client.Call(ServiceName+".Register", &RegisterArgs{Name: "w", Version: testVersion}, &reg); err != nil {
+		t.Fatalf("Register over live connection: %v", err)
+	}
+
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on listener close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return within 5s of listener close; the idle worker connection kept it alive")
+	}
+
+	// Serve only returns after closing the connection and joining its
+	// goroutine, so a further call must fail.
+	var hb HeartbeatReply
+	if err := client.Call(ServiceName+".Heartbeat", &HeartbeatArgs{WorkerID: reg.WorkerID}, &hb); err == nil {
+		t.Fatal("call on a torn-down connection succeeded; Serve left the connection open")
+	}
 }

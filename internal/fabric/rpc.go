@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"net/rpc"
+	"sync"
 )
 
 // ServiceName is the RPC receiver name workers dial methods on
@@ -127,20 +128,46 @@ func (s *Service) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
 
 // Serve accepts worker connections on ln until the listener closes
 // (clean nil return — the shutdown path) or fails. Each connection is
-// served on its own goroutine.
+// served on its own goroutine, tracked so that when the listener goes
+// down Serve closes every outstanding worker connection and joins the
+// per-connection goroutines before returning — previously they lingered
+// until the remote end hung up, which for an idle heartbeating worker
+// is never.
 func (s *Service) Serve(ln net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(ServiceName, s); err != nil {
 		return err
 	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			mu.Lock()
+			for c := range conns {
+				_ = c.Close() // unblocks ServeConn; double-close on a raced exit is harmless
+			}
+			mu.Unlock()
+			wg.Wait()
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeConn(conn)
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+			_ = conn.Close()
+		}()
 	}
 }

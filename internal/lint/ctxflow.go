@@ -15,7 +15,9 @@ import (
 // context.Background()/context.TODO(), and library code without a
 // context parameter must not create detached contexts either (thread
 // one from the caller). Package main and _test.go files are exempt —
-// that is where root contexts legitimately originate.
+// that is where root contexts legitimately originate — and scope is
+// otherwise discovered from the module path (scope.go), so new
+// library packages are covered automatically.
 var CtxFlow = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc: "require context.Context propagation; flag context.Background/TODO in library code\n\n" +
@@ -29,7 +31,9 @@ var CtxFlow = &analysis.Analyzer{
 }
 
 func runCtxFlow(pass *analysis.Pass) (any, error) {
-	if pass.Pkg.Name() == "main" {
+	// Package main is the cmd/ opt-out: root contexts originate there.
+	// Everything else in the module is library code and in scope.
+	if pass.Pkg.Name() == "main" || !inScope(pass.Pkg.Path(), "", "") {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)

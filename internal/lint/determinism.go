@@ -11,19 +11,14 @@ import (
 	"golang.org/x/tools/go/types/typeutil"
 )
 
-// defaultSimPkgs are the import-path fragments treated as simulation
-// code: everything that feeds a SimulationResult must be bit-for-bit
-// reproducible so that serial, parallel, and server runs agree and the
-// content-addressed sweep cache stays sound.
-const defaultSimPkgs = "internal/sim,internal/sweep,internal/tlb,internal/mmu," +
-	"internal/core,internal/mapping,internal/osmem,internal/workload," +
-	"internal/trace,internal/mem,internal/pagetable,internal/buddy,internal/report," +
-	"internal/persist,internal/benchparse,internal/fabric,internal/buildinfo," +
-	"cmd/tlbworker"
-
 // Determinism forbids nondeterminism sources in simulation packages:
 // wall-clock reads, the global math/rand generator, crypto/rand, and
 // map iteration whose order leaks into results or output.
+//
+// Scope is discovered from the module path (see scope.go): every
+// package in the module is simulation code unless a reviewed opt-out
+// prefix excludes it, so new internal/* packages are covered the day
+// they are created instead of when someone remembers to list them.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock, global RNG, and order-dependent map iteration in simulation packages\n\n" +
@@ -34,25 +29,26 @@ var Determinism = &analysis.Analyzer{
 		"and `for k := range m` loops whose body appends to a slice that is\n" +
 		"never sorted, sends on a channel, concatenates strings, or writes\n" +
 		"output. Collect keys and sort them first (see internal/report's\n" +
-		"sortedKeys helper).",
+		"sortedKeys helper). Module packages are in scope by discovery;\n" +
+		"-optout/-optin adjust the reviewed exclusion list.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runDeterminism,
 }
 
-var determinismPkgs string
+var (
+	determinismOptOut string
+	determinismOptIn  string
+)
 
 func init() {
-	Determinism.Flags.StringVar(&determinismPkgs, "pkgs", defaultSimPkgs,
-		"comma-separated import-path fragments treated as simulation packages")
+	Determinism.Flags.StringVar(&determinismOptOut, "optout", defaultDeterminismOptOut,
+		"comma-separated module-relative path prefixes excluded from the simulation scope")
+	Determinism.Flags.StringVar(&determinismOptIn, "optin", defaultDeterminismOptIn,
+		"comma-separated module-relative path prefixes re-admitted despite an opt-out prefix")
 }
 
 func isSimPackage(path string) bool {
-	for _, frag := range strings.Split(determinismPkgs, ",") {
-		if frag = strings.TrimSpace(frag); frag != "" && strings.Contains(path, frag) {
-			return true
-		}
-	}
-	return false
+	return inScope(path, determinismOptOut, determinismOptIn)
 }
 
 // randConstructors are the package-level math/rand functions that build

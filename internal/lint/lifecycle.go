@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Lifecycle requires every goroutine spawned in library packages to
+// carry a provable shutdown path. The SSE-subscriber leak and the
+// drain-race fixes were both goroutines that outlived their owner;
+// this pass makes that class of bug a compile-time diagnostic.
+var Lifecycle = &analysis.Analyzer{
+	Name: "lifecycle",
+	Doc: "require a provable shutdown path for every go statement in library packages\n\n" +
+		"A goroutine must terminate when its owner shuts down. The pass accepts\n" +
+		"any of: a receive/select on a context's Done() channel; WaitGroup\n" +
+		"pairing (the body calls Done, someone Waits); ranging over a channel\n" +
+		"(ends when the channel closes); receiving from a close-signaled\n" +
+		"struct{} channel; or calling WaitGroup.Wait (a join goroutine is\n" +
+		"bounded by what it joins). Calls into same-package functions are\n" +
+		"followed; a goroutine whose body is a call into another package is\n" +
+		"flagged because its termination cannot be verified here — wrap it in a\n" +
+		"literal that owns a visible shutdown path. Package main and _test.go\n" +
+		"files are exempt.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLifecycle,
+}
+
+func runLifecycle(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Same-package function bodies, so `go q.worker()` is judged by
+	// worker's own loop shape.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && fd.Body != nil {
+			decls[fn] = fd
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		g := n.(*ast.GoStmt)
+		if inTestFile(pass, g.Pos()) {
+			return
+		}
+		call := g.Call
+		if fl, ok := astUnparen(call.Fun).(*ast.FuncLit); ok {
+			if !shutdownPath(pass, fl.Body, decls, map[*types.Func]bool{}, 0) {
+				report(pass, g.Pos(),
+					"goroutine has no provable shutdown path (ctx.Done() select, WaitGroup pairing, or close-signaled channel); bound its lifetime or it leaks on drain")
+			}
+			return
+		}
+		fn, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if fn != nil {
+			if fd := decls[fn]; fd != nil {
+				if !shutdownPath(pass, fd.Body, decls, map[*types.Func]bool{fn: true}, 0) {
+					report(pass, g.Pos(),
+						"goroutine %s has no provable shutdown path (ctx.Done() select, WaitGroup pairing, or close-signaled channel); bound its lifetime or it leaks on drain", fn.Name())
+				}
+				return
+			}
+			report(pass, g.Pos(),
+				"goroutine body is a call into another package (%s); its termination cannot be verified here — wrap it in a function literal with a visible shutdown path", fn.FullName())
+			return
+		}
+		// Dynamic call (func value): nothing to analyze.
+		report(pass, g.Pos(),
+			"goroutine runs a dynamic function value; give it a visible shutdown path (ctx.Done() select, WaitGroup pairing, or close-signaled channel)")
+	})
+	return nil, nil
+}
+
+// shutdownPath reports whether body contains one of the accepted
+// termination signals, following same-package calls up to depth 2.
+func shutdownPath(pass *analysis.Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool, depth int) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested goroutine body judges itself
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && terminationChannel(pass, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true // range ends when the channel closes
+				}
+			}
+		case *ast.CallExpr:
+			fn, _ := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if fn == nil {
+				return true
+			}
+			if isWaitGroupMethod(fn, "Done") || isWaitGroupMethod(fn, "Wait") {
+				found = true
+				return false
+			}
+			if fn.Pkg() == pass.Pkg && !visited[fn] {
+				callees = append(callees, fn)
+			}
+		}
+		return !found
+	})
+	if found || depth >= 2 {
+		return found
+	}
+	for _, fn := range callees {
+		visited[fn] = true
+		if fd := decls[fn]; fd != nil && shutdownPath(pass, fd.Body, decls, visited, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminationChannel recognizes receive operands that signal shutdown:
+// a Done() call (context.Context or compatible), or a struct{}-typed
+// channel (the close-signal idiom). Payload channels (ticker.C, work
+// queues) do not count — receiving work is not a way to stop.
+func terminationChannel(pass *analysis.Pass, x ast.Expr) bool {
+	x = astUnparen(x)
+	if call, ok := x.(*ast.CallExpr); ok {
+		if sel, ok := astUnparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isWaitGroupMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

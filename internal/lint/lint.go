@@ -14,6 +14,25 @@
 //     exempt); write errors often surface only at close time.
 //   - noprint: library packages never print to stdout; output goes
 //     through injected io.Writers, return values, or log/slog.
+//   - allocfree: //tlbvet:hotpath-annotated functions and loops contain
+//     no heap-escaping constructs (closures, append, map/slice
+//     literals, fmt, string concat, interface boxing); the batched
+//     translation pipeline's 0 allocs/access is an invariant, not a
+//     benchmark number. cmd/allocgate verifies the same regions
+//     against the compiler's escape analysis.
+//   - rpcsafe: net/rpc service types match the handler contract and
+//     their args/reply payloads are gob wire-safe (exported
+//     fixed-layout fields; no chan/func/interface anywhere).
+//   - lifecycle: every go statement in library packages has a provable
+//     shutdown path (ctx.Done select, WaitGroup pairing, or a
+//     close-signaled channel).
+//   - metriclint: Prometheus names are valid, each family is # TYPE-
+//     registered exactly once per package, and label values are
+//     provably bounded (no raw job IDs or tenant strings).
+//
+// Determinism and ctxflow discover their scope from the module path
+// (scope.go): new internal/* packages are covered automatically, and
+// exclusion is an explicit, reviewed opt-out.
 //
 // Every diagnostic can be suppressed, with a reason, by a
 // "//tlbvet:ignore <analyzer> <reason>" comment on the flagged line or
@@ -37,6 +56,10 @@ func All() []*analysis.Analyzer {
 		LockSafe,
 		CloseCheck,
 		NoPrint,
+		AllocFree,
+		RPCSafe,
+		Lifecycle,
+		MetricLint,
 	}
 }
 

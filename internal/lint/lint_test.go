@@ -9,7 +9,7 @@ import (
 )
 
 // Each analyzer gets at least one fixture demonstrating caught
-// violations and one demonstrating a clean pass (ISSUE 3 acceptance).
+// violations and one demonstrating a clean pass.
 
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "internal/sim")
@@ -21,18 +21,36 @@ func TestDeterminismSortedReportIdiom(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "internal/report")
 }
 
-// TestDeterminismGatesPackages proves non-simulation packages are out
-// of scope even when they contain would-be violations.
+// TestDeterminismGatesPackages proves packages outside the module path
+// are out of scope even when they contain would-be violations.
 func TestDeterminismGatesPackages(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "plain")
 }
 
+// TestDeterminismCmdOptOut proves the cmd/ prefix opt-out: a binary
+// reading the wall clock is not flagged.
+func TestDeterminismCmdOptOut(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "cmd/clockmain")
+}
+
+// TestDeterminismWorkerOptIn proves the opt-in overrides the cmd/
+// opt-out: cmd/tlbworker is held to library determinism.
+func TestDeterminismWorkerOptIn(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "cmd/tlbworker")
+}
+
 func TestCtxFlow(t *testing.T) {
-	linttest.Run(t, lint.CtxFlow, "ctxflow")
+	linttest.Run(t, lint.CtxFlow, "internal/ctxflow")
 }
 
 func TestCtxFlowMainExempt(t *testing.T) {
 	linttest.Run(t, lint.CtxFlow, "ctxmain")
+}
+
+// TestCtxFlowScopeGates proves ctxflow shares the module-path scope:
+// the non-module "plain" package detaches a context with no diagnostic.
+func TestCtxFlowScopeGates(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "plain")
 }
 
 func TestLockSafe(t *testing.T) {
@@ -51,13 +69,29 @@ func TestNoPrintMainExempt(t *testing.T) {
 	linttest.Run(t, lint.NoPrint, "noprintmain")
 }
 
-// TestAll pins the analyzer roster: tlbvet ships at least the five
-// passes the project invariants document, with unique names and
-// non-empty docs (unitchecker rejects analyzers without them).
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, lint.AllocFree, "allocfree")
+}
+
+func TestRPCSafe(t *testing.T) {
+	linttest.Run(t, lint.RPCSafe, "rpcsafe")
+}
+
+func TestLifecycle(t *testing.T) {
+	linttest.Run(t, lint.Lifecycle, "lifecycle")
+}
+
+func TestMetricLint(t *testing.T) {
+	linttest.Run(t, lint.MetricLint, "metriclint")
+}
+
+// TestAll pins the analyzer roster: tlbvet ships the nine passes the
+// project invariants document, with unique names and non-empty docs
+// (unitchecker rejects analyzers without them).
 func TestAll(t *testing.T) {
 	all := lint.All()
-	if len(all) < 5 {
-		t.Fatalf("expected at least 5 analyzers, got %d", len(all))
+	if len(all) < 9 {
+		t.Fatalf("expected at least 9 analyzers, got %d", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -69,7 +103,10 @@ func TestAll(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "ctxflow", "locksafe", "closecheck", "noprint"} {
+	for _, want := range []string{
+		"determinism", "ctxflow", "locksafe", "closecheck", "noprint",
+		"allocfree", "rpcsafe", "lifecycle", "metriclint",
+	} {
 		if !seen[want] {
 			t.Errorf("analyzer %q missing from lint.All()", want)
 		}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// RPCSafe vets types registered with net/rpc: handler methods must
+// match the net/rpc contract (or they are silently not exposed), and
+// args/reply types must survive a gob round-trip across a mixed fleet
+// — exported fixed-layout fields only; no chan, func, or interface
+// anywhere in the payload, and only basic-keyed maps.
+var RPCSafe = &analysis.Analyzer{
+	Name: "rpcsafe",
+	Doc: "vet net/rpc service registrations: handler signatures and gob wire-safety\n\n" +
+		"For every type passed to rpc.Register/RegisterName (package-level or\n" +
+		"on a *rpc.Server), exported two-parameter methods must be\n" +
+		"`func (t *T) M(args *A, reply *R) error` — net/rpc skips anything\n" +
+		"else with only a runtime log line. A and R must be wire-safe for gob:\n" +
+		"all fields exported (gob silently drops unexported ones), no\n" +
+		"chan/func/interface fields at any depth, map keys restricted to basic\n" +
+		"types. The fabric's cross-version fleet depends on these payloads\n" +
+		"having a fixed, explicit layout.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRPCSafe,
+}
+
+func runRPCSafe(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	checked := map[*types.Named]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if inTestFile(pass, call.Pos()) {
+			return
+		}
+		fn, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if fn == nil || (fn.Name() != "Register" && fn.Name() != "RegisterName") {
+			return
+		}
+		if !isNetRPCFunc(fn) || len(call.Args) == 0 {
+			return
+		}
+		svcArg := call.Args[len(call.Args)-1]
+		t := pass.TypesInfo.TypeOf(svcArg)
+		if t == nil {
+			return
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || checked[named] {
+			return
+		}
+		checked[named] = true
+		checkService(pass, call.Pos(), named)
+	})
+	return nil, nil
+}
+
+func isNetRPCFunc(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "net/rpc" {
+		return true
+	}
+	// Method on *rpc.Server.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/rpc" && obj.Name() == "Server"
+}
+
+// checkService vets every exported handler-shaped method of the
+// registered type. callPos anchors diagnostics for types declared in
+// other packages.
+func checkService(pass *analysis.Pass, callPos token.Pos, named *types.Named) {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || !fn.Exported() {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 2 {
+			continue // not handler-shaped (Serve, helpers); net/rpc ignores it by design
+		}
+		pos := fn.Pos()
+		if fn.Pkg() != pass.Pkg {
+			pos = callPos
+		}
+		label := named.Obj().Name() + "." + fn.Name()
+
+		if sig.Results().Len() != 1 || !isErrorResult(sig.Results().At(0).Type()) {
+			report(pass, pos,
+				"%s looks like an RPC handler but does not return exactly one error; net/rpc silently skips it", label)
+			continue
+		}
+		argT, replyT := sig.Params().At(0).Type(), sig.Params().At(1).Type()
+		if _, ok := replyT.Underlying().(*types.Pointer); !ok {
+			report(pass, pos,
+				"%s reply parameter is not a pointer; net/rpc silently skips the method", label)
+			continue
+		}
+		for _, problem := range wireProblems(argT, map[*types.Named]bool{}, "") {
+			report(pass, pos, "%s args type is not gob wire-safe: %s", label, problem)
+		}
+		for _, problem := range wireProblems(replyT, map[*types.Named]bool{}, "") {
+			report(pass, pos, "%s reply type is not gob wire-safe: %s", label, problem)
+		}
+	}
+}
+
+func isErrorResult(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// wireProblems walks t and returns every reason a gob round-trip would
+// mangle or reject it. path names the offending field chain.
+func wireProblems(t types.Type, seen map[*types.Named]bool, path string) []string {
+	at := func(what string) string {
+		if path == "" {
+			return what
+		}
+		return fmt.Sprintf("field %s %s", path, what)
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		if seen[u] {
+			return nil
+		}
+		seen[u] = true
+		return wireProblems(u.Underlying(), seen, path)
+	case *types.Pointer:
+		return wireProblems(u.Elem(), seen, path)
+	case *types.Slice:
+		return wireProblems(u.Elem(), seen, path)
+	case *types.Array:
+		return wireProblems(u.Elem(), seen, path)
+	case *types.Basic:
+		return nil
+	case *types.Map:
+		var out []string
+		if _, ok := u.Key().Underlying().(*types.Basic); !ok {
+			out = append(out, at(fmt.Sprintf("has a non-basic map key %s; gob needs plainly comparable keys", u.Key())))
+		}
+		return append(out, wireProblems(u.Elem(), seen, path)...)
+	case *types.Chan:
+		return []string{at("is a chan; gob cannot encode channels")}
+	case *types.Signature:
+		return []string{at("is a func; gob cannot encode functions")}
+	case *types.Interface:
+		return []string{at("is an interface; gob needs concrete registered types and a mixed-version fleet cannot agree on them")}
+	case *types.Struct:
+		var out []string
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			fpath := f.Name()
+			if path != "" {
+				fpath = path + "." + f.Name()
+			}
+			if !f.Exported() {
+				out = append(out, fmt.Sprintf("field %s is unexported; gob silently drops it", fpath))
+				continue
+			}
+			out = append(out, wireProblems(f.Type(), seen, fpath)...)
+		}
+		return out
+	}
+	return nil
+}

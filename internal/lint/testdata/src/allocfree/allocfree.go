@@ -1,0 +1,127 @@
+// Fixture for the allocfree analyzer: //tlbvet:hotpath regions may not
+// contain heap-escaping constructs.
+package allocfree
+
+import "fmt"
+
+type entry struct {
+	vpn, pfn uint64
+	valid    bool
+}
+
+type cache struct {
+	entries []entry
+	sum     uint64
+}
+
+func sink(v any) { _ = v }
+
+// lookup is a clean hot function: index scans, struct literals, and
+// scalar arithmetic never touch the allocator.
+//
+//tlbvet:hotpath
+func (c *cache) lookup(vpn uint64) (entry, bool) {
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].vpn == vpn {
+			return c.entries[i], true
+		}
+	}
+	return entry{}, false
+}
+
+//tlbvet:hotpath
+func appendsOnHotPath(c *cache, e entry) {
+	c.entries = append(c.entries, e) // want "append may grow past cap"
+}
+
+//tlbvet:hotpath
+func makesOnHotPath() []entry {
+	buf := make([]entry, 64) // want "make allocates on the hot path"
+	return buf
+}
+
+//tlbvet:hotpath
+func literalsOnHotPath(vpn uint64) {
+	m := map[uint64]bool{vpn: true} // want "map literal allocates"
+	s := []uint64{vpn}              // want "slice literal allocates"
+	_, _ = m, s
+}
+
+//tlbvet:hotpath
+func formatsOnHotPath(vpn uint64) string {
+	return fmt.Sprintf("vpn=%d", vpn) // want "fmt.Sprintf allocates"
+}
+
+//tlbvet:hotpath
+func concatsOnHotPath(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//tlbvet:hotpath
+func capturesOnHotPath(c *cache) func() uint64 {
+	total := c.sum
+	return func() uint64 { return total } // want "closure captures \"total\""
+}
+
+//tlbvet:hotpath
+func spawnsOnHotPath(c *cache) {
+	go c.drain() // want "go statement on the hot path"
+}
+
+func (c *cache) drain() {}
+
+//tlbvet:hotpath
+func boxesArgOnHotPath(vpn uint64) {
+	sink(vpn) // want "boxed into interface"
+}
+
+//tlbvet:hotpath
+func boxesReturnOnHotPath(vpn uint64) any {
+	return vpn // want "boxed into interface"
+}
+
+//tlbvet:hotpath
+func convertsOnHotPath(vpn uint64) {
+	var v any = vpn // want "boxed into interface"
+	_ = v
+}
+
+// driveLoop shows the loop form: setup above the annotated loop may
+// allocate; the loop itself may not.
+func driveLoop(c *cache, vpns []uint64) uint64 {
+	scratch := make([]entry, len(vpns)) // legal: outside the region
+	var hits uint64
+	//tlbvet:hotpath
+	for i, vpn := range vpns {
+		e, ok := c.lookup(vpn)
+		if ok {
+			scratch[i] = e
+			hits++
+		}
+	}
+	return hits
+}
+
+func loopViolation(vpns []uint64) []string {
+	var out []string
+	//tlbvet:hotpath
+	for _, vpn := range vpns {
+		out = append(out, fmt.Sprint(vpn)) // want "append may grow past cap" "fmt.Sprint allocates"
+	}
+	return out
+}
+
+// constFold stays clean: the concatenation is a compile-time constant.
+//
+//tlbvet:hotpath
+func constFold() string {
+	return "tlb" + "vet"
+}
+
+// coldAppend is unannotated — allocation is fine off the hot path.
+func coldAppend(c *cache, e entry) {
+	c.entries = append(c.entries, e)
+}
+
+//tlbvet:hotpath // want "misplaced //tlbvet:hotpath"
+var misplacedDirective = 1

@@ -1,0 +1,17 @@
+// Fixture proving the cmd/ opt-out: binaries own wall-clock concerns
+// (progress meters, timeouts), so the determinism scope excludes them
+// by module-relative prefix and nothing here is flagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	work()
+	fmt.Println("elapsed:", time.Since(start))
+}
+
+func work() {}

@@ -1,0 +1,11 @@
+// Fixture proving the determinism opt-in overrides the cmd/ opt-out:
+// cmd/tlbworker must simulate sweep cells bit-for-bit identically
+// across the fleet, so it is held to library determinism even though
+// it is a binary.
+package main
+
+import "time"
+
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock"
+}

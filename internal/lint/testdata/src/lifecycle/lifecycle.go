@@ -1,0 +1,112 @@
+// Fixture for the lifecycle analyzer: every go statement in a library
+// package needs a provable shutdown path.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type pool struct {
+	jobs chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ctxBound is clean: the goroutine selects on ctx.Done().
+func ctxBound(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// rangeBound is clean: ranging over a channel ends when it closes.
+func (p *pool) rangeBound() {
+	go func() {
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+// wgBound is clean: WaitGroup pairing bounds the goroutine's lifetime.
+func (p *pool) wgBound() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		<-p.jobs
+	}()
+}
+
+// joiner is clean: a goroutine that Waits is bounded by what it joins.
+func (p *pool) joiner(done chan<- struct{}) {
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+}
+
+// closeSignal is clean: receiving from a struct{} channel is the
+// close-signal idiom.
+func (p *pool) closeSignal() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// worker loops over the close-signaled channel; namedBound spawns it by
+// name and the analyzer follows the same-package body.
+func (p *pool) worker() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+	}
+}
+
+func (p *pool) namedBound() {
+	go p.worker()
+}
+
+func leakyLoop(ticks chan int) {
+	go func() { // want "no provable shutdown path"
+		for {
+			<-ticks
+		}
+	}()
+}
+
+func leakyNamed(p *pool) {
+	go spin(p) // want "goroutine spin has no provable shutdown path"
+}
+
+func spin(p *pool) {
+	for {
+		<-p.jobs
+	}
+}
+
+func crossPackage(d time.Duration) {
+	go time.Sleep(d) // want "call into another package"
+}
+
+func dynamicValue(f func()) {
+	go f() // want "dynamic function value"
+}

@@ -1,0 +1,58 @@
+// Fixture for the metriclint analyzer: Prometheus text exposition —
+// metric names, single registration, family membership, and bounded
+// label cardinality.
+package metriclint
+
+import (
+	"fmt"
+	"io"
+)
+
+// State is the enum idiom: a named string type is a closed set by
+// construction and therefore a bounded label value.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+)
+
+func writeClean(w io.Writer, st State, route string, jobs int, elapsed float64) {
+	fmt.Fprintln(w, "# HELP fixture_jobs Current jobs by state.")
+	fmt.Fprintln(w, "# TYPE fixture_jobs gauge")
+	fmt.Fprintf(w, "fixture_jobs{state=%q} %d\n", st, jobs)
+	fmt.Fprintf(w, "fixture_jobs{state=\"done\"} %d\n", jobs)
+
+	fmt.Fprintln(w, "# TYPE fixture_request_seconds histogram")
+	fmt.Fprintf(w, "fixture_request_seconds_bucket{route=%q,le=\"0.1\"} %d\n", route, jobs)
+	fmt.Fprintf(w, "fixture_request_seconds_sum{route=%q} %g\n", route, elapsed)
+	fmt.Fprintf(w, "fixture_request_seconds_count{route=%q} %d\n", route, jobs)
+}
+
+func writeBadNames(w io.Writer, jobs int) {
+	fmt.Fprintln(w, "# TYPE 9fixture_bad counter")         // want "invalid Prometheus metric name"
+	fmt.Fprintln(w, "# TYPE fixture_bad_kind_total meter") // want "invalid Prometheus metric type"
+	fmt.Fprintf(w, "fixture_jobs{9bad=\"x\"} %d\n", jobs)  // want "invalid Prometheus label name"
+}
+
+func writeDuplicate(w io.Writer, n int) {
+	fmt.Fprintln(w, "# TYPE fixture_dup_total counter")
+	fmt.Fprintln(w, "# TYPE fixture_dup_total counter") // want "registered more than once"
+	fmt.Fprintf(w, "fixture_dup_total %d\n", n)
+}
+
+func writeOrphan(w io.Writer, n int) {
+	fmt.Fprintf(w, "fixture_orphan_total %d\n", n) // want "no # TYPE registration"
+}
+
+func writeUnbounded(w io.Writer, jobID string, epochs uint64) {
+	fmt.Fprintln(w, "# TYPE fixture_job_epochs gauge")
+	fmt.Fprintf(w, "fixture_job_epochs{job=%q} %d\n", jobID, epochs) // want "unbounded plain-string value"
+}
+
+// writeProse shows the conservative parser ignoring ordinary output:
+// no underscore-bearing metric name, no sample shape, no diagnostics.
+func writeProse(w io.Writer, event string) {
+	fmt.Fprintf(w, "event: %s\n", event)
+	fmt.Fprintln(w, "done")
+}

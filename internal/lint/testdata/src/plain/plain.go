@@ -1,9 +1,11 @@
-// Fixture proving package gating: "plain" is not a simulation package,
-// so the determinism analyzer must report nothing here even though the
-// code would be flagged inside internal/sim.
+// Fixture proving package gating: "plain" is outside the module path,
+// so the discovery-scoped analyzers (determinism, ctxflow) must report
+// nothing here even though the code would be flagged inside
+// internal/sim or any other module package.
 package plain
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -16,4 +18,9 @@ func printOrder(m map[string]int) {
 	for k := range m {
 		fmt.Println(k)
 	}
+}
+
+func detachedContext(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background()
 }

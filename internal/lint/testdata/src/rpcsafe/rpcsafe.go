@@ -1,0 +1,76 @@
+// Fixture for the rpcsafe analyzer: net/rpc handler signatures and gob
+// wire-safety of args/reply payloads.
+package rpcsafe
+
+import "net/rpc"
+
+// GoodArgs and GoodReply are wire-safe: exported fixed-layout fields.
+type GoodArgs struct {
+	Key   string
+	Batch []uint64
+}
+
+type GoodReply struct {
+	N      int
+	Nested GoodArgs
+}
+
+// ChanArgs smuggles a channel; gob cannot encode it.
+type ChanArgs struct {
+	C chan int
+}
+
+// SecretReply mixes an unexported field into the payload; gob drops it
+// silently and the remote side sees a zero value.
+type SecretReply struct {
+	Public int
+	secret string
+}
+
+// IfaceArgs carries an interface; a mixed-version fleet cannot agree on
+// the concrete types behind it.
+type IfaceArgs struct {
+	V interface{}
+}
+
+type structKey struct{ A, B int }
+
+// MapReply uses a struct-keyed map, which gob rejects.
+type MapReply struct {
+	ByKey map[structKey]int
+}
+
+// Svc exercises every handler diagnostic.
+type Svc struct{}
+
+// Fine is the clean case: pointer args, pointer reply, single error.
+func (s *Svc) Fine(args *GoodArgs, reply *GoodReply) error { return nil }
+
+func (s *Svc) TwoResults(args *GoodArgs, reply *GoodReply) (int, error) { return 0, nil } // want "does not return exactly one error"
+
+func (s *Svc) ValueReply(args *GoodArgs, reply GoodReply) error { return nil } // want "reply parameter is not a pointer"
+
+func (s *Svc) ChanPayload(args *ChanArgs, reply *GoodReply) error { return nil } // want "field C is a chan"
+
+func (s *Svc) SecretPayload(args *GoodArgs, reply *SecretReply) error { return nil } // want "field secret is unexported; gob silently drops it"
+
+func (s *Svc) IfacePayload(args *IfaceArgs, reply *GoodReply) error { return nil } // want "field V is an interface"
+
+func (s *Svc) MapPayload(args *GoodArgs, reply *MapReply) error { return nil } // want "non-basic map key"
+
+// Helper is not handler-shaped (one parameter); net/rpc ignores it by
+// design and so does the analyzer.
+func (s *Svc) Helper(n int) int { return n }
+
+// Clean is a service whose every handler is contract-correct.
+type Clean struct{}
+
+func (c *Clean) Get(args *GoodArgs, reply *GoodReply) error { return nil }
+
+func register() error {
+	if err := rpc.Register(&Svc{}); err != nil {
+		return err
+	}
+	srv := rpc.NewServer()
+	return srv.RegisterName("Fleet", &Clean{})
+}

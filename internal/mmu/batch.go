@@ -17,6 +17,7 @@ import (
 // to translating the same VPNs one at a time — the equivalence suite in
 // batch_test.go and internal/sim pins that down for every scheme.
 
+//tlbvet:hotpath
 func (m *standardMMU) TranslateBatch(vpns []mem.VPN) {
 	st := m.stats
 	for _, vpn := range vpns {
@@ -44,6 +45,7 @@ func (m *standardMMU) TranslateBatch(vpns []mem.VPN) {
 	m.stats = st
 }
 
+//tlbvet:hotpath
 func (m *clusterMMU) TranslateBatch(vpns []mem.VPN) {
 	st := m.stats
 	twoMB := m.scheme == Cluster2M
@@ -111,6 +113,7 @@ func (m *clusterMMU) TranslateBatch(vpns []mem.VPN) {
 	m.stats = st
 }
 
+//tlbvet:hotpath
 func (m *rmmMMU) TranslateBatch(vpns []mem.VPN) {
 	st := m.stats
 	for _, vpn := range vpns {
@@ -147,6 +150,7 @@ func (m *rmmMMU) TranslateBatch(vpns []mem.VPN) {
 	m.stats = st
 }
 
+//tlbvet:hotpath
 func (m *anchorMMU) TranslateBatch(vpns []mem.VPN) {
 	st := m.stats
 	var acts [5]uint64
@@ -213,6 +217,7 @@ func (m *anchorMMU) TranslateBatch(vpns []mem.VPN) {
 	}
 }
 
+//tlbvet:hotpath
 func (m *coltMMU) TranslateBatch(vpns []mem.VPN) {
 	st := m.stats
 	for _, vpn := range vpns {
@@ -255,6 +260,7 @@ func (m *coltMMU) TranslateBatch(vpns []mem.VPN) {
 	m.stats = st
 }
 
+//tlbvet:hotpath
 func (m *coltfaMMU) TranslateBatch(vpns []mem.VPN) {
 	st := m.stats
 	for _, vpn := range vpns {

@@ -261,6 +261,8 @@ func (t *Table) Walk(vpn mem.VPN) WalkResult {
 // returning only the fields that path consumes — as scalars, so the
 // result travels in registers instead of a WalkResult copy. A zero
 // return with present == false corresponds to a non-present WalkResult.
+//
+//tlbvet:hotpath
 func (t *Table) WalkFast(vpn mem.VPN) (pfn mem.PFN, class mem.PageClass, baseVPN mem.VPN, basePFN mem.PFN, present bool) {
 	t.stats.Walks++
 	n := t.root.child[indexAt(vpn, LevelPML4)]
@@ -269,7 +271,10 @@ func (t *Table) WalkFast(vpn mem.VPN) (pfn mem.PFN, class mem.PageClass, baseVPN
 	}
 	i := indexAt(vpn, LevelPDPT)
 	if e := n.pte[i]; e.Present() && e.Huge() {
-		base := vpn.AlignDown(mem.Class1G.BasePages())
+		// PagesPer1G, not Class1G.BasePages(): the method inlines the
+		// Shift() switch whose panic string is a (dead) heap escape,
+		// which allocgate would flag inside this hotpath region.
+		base := vpn.AlignDown(mem.PagesPer1G)
 		return e.PFN() + mem.PFN(vpn-base), mem.Class1G, base, e.PFN(), true
 	}
 	if n = n.child[i]; n == nil {
@@ -277,7 +282,7 @@ func (t *Table) WalkFast(vpn mem.VPN) (pfn mem.PFN, class mem.PageClass, baseVPN
 	}
 	i = indexAt(vpn, LevelPD)
 	if e := n.pte[i]; e.Present() && e.Huge() {
-		base := vpn.AlignDown(mem.Class2M.BasePages())
+		base := vpn.AlignDown(mem.PagesPer2M)
 		return e.PFN() + mem.PFN(vpn-base), mem.Class2M, base, e.PFN(), true
 	}
 	if n = n.child[i]; n == nil {

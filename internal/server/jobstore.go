@@ -414,22 +414,25 @@ func (s *jobStore) list() []JobJSON {
 	return out
 }
 
-// runningEpochs samples the epoch counters of currently running jobs
-// for the per-job metrics gauge (cardinality bounded by the worker
-// count — terminal and queued jobs are excluded).
-func (s *jobStore) runningEpochs() map[string]uint64 {
+// runningEpochs sums the epoch counters of currently running jobs for
+// the metrics gauge. The sum is deliberate: a per-job-ID label would
+// mint a new time series for every job the server ever ran (IDs are
+// unique per submission, so the scrape's cardinality grows without
+// bound over the server's lifetime); per-job epoch counts stay
+// available in the job JSON.
+func (s *jobStore) runningEpochs() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]uint64)
-	for id, j := range s.jobs {
+	var total uint64
+	for _, j := range s.jobs {
 		j.mu.Lock()
 		running := j.state == JobRunning
 		j.mu.Unlock()
 		if running {
-			out[id] = j.epochs.Load()
+			total += j.epochs.Load()
 		}
 	}
-	return out
+	return total
 }
 
 // countByState tallies job states for metrics.

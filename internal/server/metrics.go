@@ -102,7 +102,7 @@ type gauges struct {
 	cacheMisses   int
 	retries       int
 	evictions     int64
-	jobEpochs     map[string]uint64
+	jobEpochs     uint64
 	store         persist.StoreStats
 	ready         bool
 }
@@ -219,16 +219,9 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE tlbserver_store_pruned_total counter")
 	fmt.Fprintf(w, "tlbserver_store_pruned_total %d\n", g.store.Pruned)
 
-	fmt.Fprintln(w, "# HELP tlbserver_job_epochs Epoch-boundary samples observed so far by each running sweep job (cardinality bounded by the worker pool).")
+	fmt.Fprintln(w, "# HELP tlbserver_job_epochs Epoch-boundary samples observed so far, summed over currently running sweep jobs (per-job detail lives in the job JSON; a job-ID label would grow scrape cardinality without bound).")
 	fmt.Fprintln(w, "# TYPE tlbserver_job_epochs gauge")
-	jobIDs := make([]string, 0, len(g.jobEpochs))
-	for id := range g.jobEpochs {
-		jobIDs = append(jobIDs, id)
-	}
-	sort.Strings(jobIDs)
-	for _, id := range jobIDs {
-		fmt.Fprintf(w, "tlbserver_job_epochs{job=%q} %d\n", id, g.jobEpochs[id])
-	}
+	fmt.Fprintf(w, "tlbserver_job_epochs %d\n", g.jobEpochs)
 
 	fmt.Fprintln(w, "# HELP tlbserver_jobs_recovered_total Terminal jobs restored from the journal at startup.")
 	fmt.Fprintln(w, "# TYPE tlbserver_jobs_recovered_total counter")

@@ -280,6 +280,9 @@ func drive(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Re
 	var warmInstr uint64
 	epoch := 0
 
+	// The batch loop is the per-access path: setup above (the two
+	// batchRecords-sized buffers) is the only allocation the drive makes.
+	//tlbvet:hotpath
 	for {
 		n := bs.ReadBatch(recs)
 		if n == 0 {

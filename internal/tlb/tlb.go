@@ -122,6 +122,8 @@ func Key(kind EntryKind, tag uint64) uint64 {
 
 // Lookup searches the set for the key and promotes the entry to MRU on a
 // hit.
+//
+//tlbvet:hotpath
 func (c *Cache) Lookup(set int, key uint64) (Entry, bool) {
 	base := set * c.ways
 	keys := c.keys[base : base+c.ways : base+c.ways]
@@ -167,6 +169,8 @@ func (c *Cache) Peek(set int, key uint64) (Entry, bool) {
 // Insert installs the entry under key, evicting the set's LRU way if
 // necessary. Inserting an existing key overwrites it in place. It returns
 // the evicted entry, if any.
+//
+//tlbvet:hotpath
 func (c *Cache) Insert(set int, key uint64, e Entry) (Entry, bool) {
 	base := set * c.ways
 	keys := c.keys[base : base+c.ways : base+c.ways]
@@ -211,6 +215,8 @@ func (c *Cache) Insert(set int, key uint64, e Entry) (Entry, bool) {
 // interchangeable whenever the key is absent. Skipping the match scan
 // keeps the probe loop to one array and lets it stop at the first free
 // way.
+//
+//tlbvet:hotpath
 func (c *Cache) InsertNew(set int, key uint64, e Entry) (Entry, bool) {
 	base := set * c.ways
 	lrus := c.lrus[base : base+c.ways : base+c.ways]
