@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fabric-test bench bench-json experiments serve lint tools allocgate
+.PHONY: check vet build test race fabric-test load-smoke bench bench-json experiments serve lint tools allocgate
 
-check: vet build lint allocgate race fabric-test
+check: vet build lint allocgate race fabric-test load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,14 @@ race:
 # results must stay byte-identical to a single-process run.
 fabric-test:
 	$(GO) test -race -run TestFabricCrashRecoveryKill9 -count=1 ./internal/server/
+
+# load-smoke runs the multi-tenant overload proof under -race: a short
+# tlbload run (two tenants at 10:1 offered load) against an in-process
+# server. The light tenant's p99 must stay bounded and error-free while
+# the abusive tenant is shed with adaptive Retry-After hints. The run
+# regenerates the committed BENCH_server.json and re-validates it.
+load-smoke:
+	TLBLOAD_OUT=$(CURDIR)/BENCH_server.json $(GO) test -race -run 'TestLoadSmoke|TestCommittedArtifactValid' -count=1 ./cmd/tlbload/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1,0 +1,427 @@
+package main
+
+// The open-loop generator and its aggregation live here, separated
+// from flag parsing so TestLoadSmoke can drive the exact code path
+// `make load-smoke` runs. Open-loop matters for an overload harness:
+// requests fire on the offered-rate schedule regardless of how slowly
+// the server answers, so a degrading server faces growing concurrency
+// exactly as it would from real independent clients, instead of a
+// closed loop that politely backs off and hides the overload.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridtlb"
+	"hybridtlb/internal/benchparse"
+	"hybridtlb/internal/server"
+	"hybridtlb/internal/tenant"
+)
+
+// tenantLoad is one tenant's offered traffic during a scenario.
+type tenantLoad struct {
+	Name string
+	Key  string
+	// RPS is the offered request rate; the generator holds it open-loop
+	// for the scenario duration.
+	RPS float64
+	// SweepEvery makes every Nth request an async POST /v1/sweeps
+	// submission instead of a synchronous simulate (0: simulate only).
+	SweepEvery int
+	// Priority is the sweep lane ("interactive" or "batch"/empty).
+	Priority string
+}
+
+// outcome is one request's observed result.
+type outcome struct {
+	tenant     string
+	code       int // 0 on transport error
+	sweep      bool
+	latency    time.Duration
+	retryAfter float64 // seconds, from a 429's Retry-After header
+}
+
+// workload shapes the simulation each request asks for. Small accesses
+// and a small explicit footprint keep individual requests cheap (a
+// workload-default footprint costs ~100× more just building the
+// memory layout) so the interesting contention is admission and
+// queueing, not simulation CPU.
+type workload struct {
+	Accesses       uint64
+	FootprintPages uint64
+	Seed           int64 // base; request i uses Seed+i so the result cache can't absorb the load
+}
+
+func (w workload) simBody(i int) string {
+	return fmt.Sprintf(`{"scheme":"anchor","workload":"gups","scenario":"demand","accesses":%d,"footprint_pages":%d,"seed":%d}`,
+		w.Accesses, w.FootprintPages, w.Seed+int64(i))
+}
+
+func (w workload) sweepBody(i int, priority string) string {
+	p := ""
+	if priority != "" {
+		p = fmt.Sprintf(`,"priority":%q`, priority)
+	}
+	return fmt.Sprintf(`{"schemes":["anchor"],"workloads":["gups"],"scenarios":["demand"],"accesses":%d,"footprint_pages":%d,"seeds":[%d]%s}`,
+		w.Accesses, w.FootprintPages, w.Seed+int64(i), p)
+}
+
+// newLoadClient returns an HTTP client sized for open-loop bursts: the
+// default two idle conns per host would force a fresh TCP handshake on
+// nearly every request at overload rates and the handshake churn would
+// show up as transport errors, which the harness counts as failures.
+func newLoadClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+}
+
+// runScenario offers each tenant's traffic open-loop for duration and
+// returns the per-tenant aggregate. It blocks until every in-flight
+// request has completed (the tail beyond the offered window is part of
+// the measurement — a shedding server should still answer it quickly).
+func runScenario(ctx context.Context, client *http.Client, baseURL string, loads []tenantLoad, duration time.Duration, work workload) map[string]benchparse.TenantLoadStats {
+	results := make(chan outcome, 1024)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for _, tl := range loads {
+		total := int(tl.RPS * duration.Seconds())
+		if total < 1 {
+			total = 1
+		}
+		interval := duration / time.Duration(total)
+		wg.Add(1)
+		go func(tl tenantLoad, total int, interval time.Duration) {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				next := start.Add(time.Duration(i) * interval)
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(d):
+					}
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results <- sendOne(ctx, client, baseURL, tl, work, i)
+				}(i)
+			}
+		}(tl, total, interval)
+	}
+
+	done := make(chan struct{})
+	collected := make(map[string][]outcome)
+	go func() {
+		defer close(done)
+		for o := range results {
+			collected[o.tenant] = append(collected[o.tenant], o)
+		}
+	}()
+	wg.Wait()
+	close(results)
+	<-done
+
+	elapsed := time.Since(start)
+	stats := make(map[string]benchparse.TenantLoadStats, len(loads))
+	for _, tl := range loads {
+		stats[tl.Name] = aggregate(collected[tl.Name], elapsed)
+	}
+	return stats
+}
+
+// sendOne issues request i of a tenant's stream and classifies the
+// response: 2xx accepted, 429 shed, anything else (including transport
+// failure) an error.
+func sendOne(ctx context.Context, client *http.Client, baseURL string, tl tenantLoad, work workload, i int) outcome {
+	path, body := "/v1/simulate", work.simBody(i)
+	sweep := tl.SweepEvery > 0 && i%tl.SweepEvery == 0
+	if sweep {
+		path, body = "/v1/sweeps", work.sweepBody(i, tl.Priority)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, strings.NewReader(body))
+	if err != nil {
+		return outcome{tenant: tl.Name, sweep: sweep}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tl.Key != "" {
+		req.Header.Set("Authorization", "Bearer "+tl.Key)
+	}
+
+	began := time.Now()
+	resp, err := client.Do(req)
+	took := time.Since(began)
+	if err != nil {
+		return outcome{tenant: tl.Name, sweep: sweep, latency: took}
+	}
+	defer resp.Body.Close() //nolint:errcheck // drained below
+	_, _ = io.Copy(io.Discard, resp.Body)
+
+	o := outcome{tenant: tl.Name, code: resp.StatusCode, sweep: sweep, latency: took}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if s, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil {
+			o.retryAfter = s
+		}
+	}
+	return o
+}
+
+// aggregate folds one tenant's outcomes into the report row. Latency
+// percentiles cover accepted requests only: a 429 returns in
+// microseconds by design, and letting sheds into the distribution
+// would flatter an overloaded server.
+func aggregate(outs []outcome, elapsed time.Duration) benchparse.TenantLoadStats {
+	var st benchparse.TenantLoadStats
+	var latencies []float64
+	for _, o := range outs {
+		st.Offered++
+		if o.sweep {
+			st.Sweeps++
+		}
+		switch {
+		case o.code >= 200 && o.code < 300:
+			st.Accepted++
+			latencies = append(latencies, float64(o.latency)/float64(time.Millisecond))
+		case o.code == http.StatusTooManyRequests:
+			st.Shed++
+			if o.retryAfter > st.RetryAfterMaxS {
+				st.RetryAfterMaxS = o.retryAfter
+			}
+		default:
+			st.Errors++
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.ThroughputRPS = float64(st.Accepted) / secs
+	}
+	st.LatencyMsP50 = benchparse.Quantile(latencies, 0.50)
+	st.LatencyMsP99 = benchparse.Quantile(latencies, 0.99)
+	st.LatencyMsP999 = benchparse.Quantile(latencies, 0.999)
+	return st
+}
+
+// isolationCheck is the graceful-degradation contract the overload
+// scenario must satisfy.
+type isolationCheck struct {
+	Light, Heavy string
+	// P99Ratio bounds the light tenant's overload p99 relative to its
+	// calibration p99; P99FloorMs absorbs scheduler noise on very fast
+	// calibration runs (the bound is max(ratio×calibrated, floor)).
+	P99Ratio   float64
+	P99FloorMs float64
+}
+
+// checkIsolation asserts the overload contract against a report that
+// contains a calibrate scenario (light tenant alone) and an overload
+// scenario (light + heavy): nobody sees non-shed errors, the heavy
+// tenant was actually shed with a Retry-After hint, and the light
+// tenant's p99 stayed bounded.
+func checkIsolation(rep benchparse.ServerReport, calibrate, overload string, c isolationCheck) error {
+	for name, sc := range rep.Scenarios {
+		for t, ts := range sc.Tenants {
+			if ts.Errors > 0 {
+				return fmt.Errorf("%s/%s: %d non-shed errors (accepted %d, shed %d)",
+					name, t, ts.Errors, ts.Accepted, ts.Shed)
+			}
+		}
+	}
+	cal, ok := rep.Scenarios[calibrate].Tenants[c.Light]
+	if !ok {
+		return fmt.Errorf("calibrate scenario %q has no tenant %q", calibrate, c.Light)
+	}
+	over, ok := rep.Scenarios[overload].Tenants[c.Light]
+	if !ok {
+		return fmt.Errorf("overload scenario %q has no tenant %q", overload, c.Light)
+	}
+	heavy, ok := rep.Scenarios[overload].Tenants[c.Heavy]
+	if !ok {
+		return fmt.Errorf("overload scenario %q has no tenant %q", overload, c.Heavy)
+	}
+
+	if heavy.Shed == 0 {
+		return fmt.Errorf("overload: heavy tenant %q was never shed (offered %d, accepted %d) — no overload happened",
+			c.Heavy, heavy.Offered, heavy.Accepted)
+	}
+	if heavy.RetryAfterMaxS <= 0 {
+		return fmt.Errorf("overload: heavy tenant %q sheds carried no Retry-After hint", c.Heavy)
+	}
+	bound := c.P99Ratio * cal.LatencyMsP99
+	if bound < c.P99FloorMs {
+		bound = c.P99FloorMs
+	}
+	if over.LatencyMsP99 > bound {
+		return fmt.Errorf("overload: light tenant %q p99 %.1fms exceeds bound %.1fms (%.1f× calibrated %.1fms, floor %.0fms)",
+			c.Light, over.LatencyMsP99, bound, c.P99Ratio, cal.LatencyMsP99, c.P99FloorMs)
+	}
+	return nil
+}
+
+// selftestOptions sizes the in-process server the -selftest mode loads
+// against. The defaults (see main.go flags) are deliberately small so
+// a few seconds of skewed traffic is a genuine overload.
+type selftestOptions struct {
+	Workers    int
+	QueueDepth int
+	HeavyRate  float64 // heavy tenant's rate_per_sec
+	HeavyQuota int     // heavy tenant's max_in_flight
+	RetryAfter time.Duration
+	Chaos      float64
+	ChaosSeed  int64
+	ChaosDelay time.Duration
+	Logger     *slog.Logger
+}
+
+// Fixed identities of the in-process keyfile: "light" is the
+// well-behaved weighted tenant, "heavy" the abusive one whose limits
+// the admission gates will hit.
+const (
+	lightTenant, lightKey = "light", "load-light-key"
+	heavyTenant, heavyKey = "heavy", "load-heavy-key"
+)
+
+// startSelftest boots an in-process tlbserver with a two-tenant
+// keyfile: "light" (weight 3, no limits — its protection is fair-share
+// plus the heavy tenant's gates) and "heavy" (weight 1, rate-limited,
+// quota-bound). Returns the base URL and a graceful shutdown func.
+func startSelftest(opts selftestOptions) (string, func(), error) {
+	keyfile := fmt.Sprintf(`{"tenants":[
+		{"name":%q,"key":%q,"weight":3},
+		{"name":%q,"key":%q,"weight":1,"rate_per_sec":%g,"max_in_flight":%d}
+	]}`, lightTenant, lightKey, heavyTenant, heavyKey, opts.HeavyRate, opts.HeavyQuota)
+	registry, err := tenant.Parse(strings.NewReader(keyfile))
+	if err != nil {
+		return "", nil, fmt.Errorf("selftest keyfile: %w", err)
+	}
+
+	var faults *hybridtlb.FaultInjector
+	if opts.Chaos > 0 || opts.ChaosDelay > 0 {
+		faults = &hybridtlb.FaultInjector{
+			Seed:          opts.ChaosSeed,
+			TransientRate: opts.Chaos,
+			Delay:         opts.ChaosDelay,
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Workers:         opts.Workers,
+		QueueDepth:      opts.QueueDepth,
+		SimulateTimeout: 20 * time.Second,
+		RetryAfter:      opts.RetryAfter,
+		Tenants:         registry,
+		Faults:          faults,
+		Logger:          opts.Logger,
+	})
+	if err != nil {
+		return "", nil, fmt.Errorf("selftest server: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("selftest listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // reported as ErrServerClosed on shutdown
+
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		srv.BeginShutdown()
+		_ = srv.Drain(ctx)
+		_ = srv.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// Scenario names in the report: calibrate measures the light tenant
+// uncontended, overload adds the heavy tenant at skew× the rate.
+const (
+	scenarioCalibrate = "calibrate"
+	scenarioOverload  = "overload"
+)
+
+// harnessConfig is one full tlbload run — both scenarios against one
+// target. TestLoadSmoke builds this directly; main builds it from
+// flags.
+type harnessConfig struct {
+	BaseURL            string // external target; empty boots a selftest server
+	LightKey, HeavyKey string // bearer keys in external mode
+
+	LightRPS   float64
+	Skew       float64 // heavy offered rate = Skew × LightRPS
+	Calibrate  time.Duration
+	Overload   time.Duration
+	SweepEvery int
+	Work       workload
+
+	Selftest selftestOptions
+	Logger   *slog.Logger
+}
+
+// runHarness runs calibrate then overload and folds both into the
+// BENCH_server.json report.
+func runHarness(ctx context.Context, cfg harnessConfig) (benchparse.ServerReport, error) {
+	baseURL, lk, hk := cfg.BaseURL, cfg.LightKey, cfg.HeavyKey
+	if baseURL == "" {
+		url, shutdown, err := startSelftest(cfg.Selftest)
+		if err != nil {
+			return benchparse.ServerReport{}, err
+		}
+		defer shutdown()
+		baseURL, lk, hk = url, lightKey, heavyKey
+	}
+	client := newLoadClient()
+	defer client.CloseIdleConnections()
+
+	light := tenantLoad{
+		Name: lightTenant, Key: lk, RPS: cfg.LightRPS,
+		SweepEvery: cfg.SweepEvery, Priority: "interactive",
+	}
+	heavy := tenantLoad{
+		Name: heavyTenant, Key: hk, RPS: cfg.LightRPS * cfg.Skew,
+		SweepEvery: cfg.SweepEvery, Priority: "batch",
+	}
+
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	log.Info("calibrating", "tenant", light.Name, "rps", light.RPS, "duration", cfg.Calibrate)
+	calStats := runScenario(ctx, client, baseURL, []tenantLoad{light}, cfg.Calibrate, cfg.Work)
+	if err := ctx.Err(); err != nil {
+		return benchparse.ServerReport{}, err
+	}
+
+	log.Info("overloading", "light_rps", light.RPS, "heavy_rps", heavy.RPS, "duration", cfg.Overload)
+	// Offset the overload seeds past calibration's so the server's
+	// result cache never answers for work calibration already did.
+	overWork := cfg.Work
+	overWork.Seed += int64(cfg.LightRPS*cfg.Calibrate.Seconds()) + 1
+	overStats := runScenario(ctx, client, baseURL, []tenantLoad{light, heavy}, cfg.Overload, overWork)
+	if err := ctx.Err(); err != nil {
+		return benchparse.ServerReport{}, err
+	}
+
+	return benchparse.ServerReport{
+		Harness: "tlbload",
+		Seed:    cfg.Work.Seed,
+		Scenarios: map[string]benchparse.LoadScenario{
+			scenarioCalibrate: {DurationS: cfg.Calibrate.Seconds(), Tenants: calStats},
+			scenarioOverload:  {DurationS: cfg.Overload.Seconds(), Tenants: overStats},
+		},
+	}, nil
+}

@@ -1,0 +1,162 @@
+// Command tlbload is an open-loop load generator for tlbserver that
+// proves graceful degradation under multi-tenant overload. It offers
+// two phases of traffic — "calibrate" (the well-behaved light tenant
+// alone) and "overload" (the same light tenant plus a heavy tenant
+// offering skew× its rate) — and reports per-tenant p50/p99/p999
+// latency, throughput, shed counts and the largest adaptive
+// Retry-After hint observed, as a BENCH_server.json document
+// (internal/benchparse.ServerReport).
+//
+// With -selftest it boots an in-process tlbserver with a two-tenant
+// keyfile (light: weight 3, unlimited; heavy: weight 1, rate-limited,
+// quota-bound) so the whole overload proof runs hermetically — this is
+// what `make load-smoke` and CI execute. Point -base-url plus
+// -light-key/-heavy-key at a real deployment instead to measure one.
+//
+// With -check (the default) the run fails with exit 1 unless the
+// graceful-degradation contract holds: zero non-shed errors anywhere,
+// the heavy tenant actually shed with a Retry-After hint, and the
+// light tenant's overload p99 within -p99-ratio of its calibrated p99
+// (floored by -p99-floor to absorb scheduler noise).
+//
+// Examples:
+//
+//	tlbload -selftest -out BENCH_server.json
+//	tlbload -base-url http://tlb.internal:8080 -light-key k1 -heavy-key k2 -skew 10
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridtlb/internal/benchparse"
+	"hybridtlb/internal/buildinfo"
+)
+
+func main() {
+	var (
+		selftest = flag.Bool("selftest", false, "load an in-process tlbserver instead of a remote one")
+		baseURL  = flag.String("base-url", "", "target server base URL (external mode; requires -light-key and -heavy-key)")
+		lightK   = flag.String("light-key", "", "bearer key for the well-behaved tenant (external mode)")
+		heavyK   = flag.String("heavy-key", "", "bearer key for the abusive tenant (external mode)")
+
+		lightRPS  = flag.Float64("light-rps", 30, "light tenant's offered request rate")
+		skew      = flag.Float64("skew", 10, "heavy tenant's offered rate as a multiple of the light tenant's")
+		calibrate = flag.Duration("calibrate", 2*time.Second, "light-tenant-alone calibration phase length")
+		duration  = flag.Duration("duration", 3*time.Second, "overload phase length")
+		sweepN    = flag.Int("sweep-every", 5, "every Nth request is an async sweep submission (0: simulate only)")
+		accesses  = flag.Uint64("accesses", 2000, "per-simulation measured accesses (keeps requests cheap)")
+		footprint = flag.Uint64("footprint", 1024, "per-simulation footprint pages (workload defaults are ~100× costlier)")
+		seed      = flag.Int64("seed", 1, "base simulation seed; request i uses seed+i so the result cache can't absorb the load")
+
+		workers    = flag.Int("workers", 2, "selftest: sweep worker pool size")
+		queueDepth = flag.Int("queue", 2, "selftest: per-tenant sweep queue depth")
+		heavyRate  = flag.Float64("heavy-rate", 40, "selftest: heavy tenant's rate_per_sec limit")
+		heavyQuota = flag.Int("heavy-inflight", 4, "selftest: heavy tenant's max_in_flight quota")
+		retryAfter = flag.Duration("retry-after", time.Second, "selftest: floor for the adaptive Retry-After hint")
+		chaos      = flag.Float64("chaos", 0, "selftest: fault-injection rate [0,1) for transient cell failures")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "selftest: deterministic seed for fault injection")
+		chaosDelay = flag.Duration("chaos-delay", 0, "selftest: max injected per-cell delay")
+
+		check    = flag.Bool("check", true, "assert the graceful-degradation contract; violations exit 1")
+		p99Ratio = flag.Float64("p99-ratio", 2.0, "light tenant overload p99 bound as a multiple of its calibrated p99")
+		p99Floor = flag.Duration("p99-floor", 150*time.Millisecond, "absolute floor under the p99 bound (absorbs scheduler noise)")
+
+		out         = flag.String("out", "", "write BENCH_server.json here (empty: stdout)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		showVersion = flag.Bool("version", false, "print the build identity and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	if *selftest == (*baseURL != "") {
+		fmt.Fprintln(os.Stderr, "tlbload: exactly one of -selftest or -base-url is required")
+		os.Exit(2)
+	}
+	if *baseURL != "" && (*lightK == "" || *heavyK == "") {
+		fmt.Fprintln(os.Stderr, "tlbload: -base-url requires -light-key and -heavy-key")
+		os.Exit(2)
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := harnessConfig{
+		BaseURL:    *baseURL,
+		LightKey:   *lightK,
+		HeavyKey:   *heavyK,
+		LightRPS:   *lightRPS,
+		Skew:       *skew,
+		Calibrate:  *calibrate,
+		Overload:   *duration,
+		SweepEvery: *sweepN,
+		Work:       workload{Accesses: *accesses, FootprintPages: *footprint, Seed: *seed},
+		Selftest: selftestOptions{
+			Workers:    *workers,
+			QueueDepth: *queueDepth,
+			HeavyRate:  *heavyRate,
+			HeavyQuota: *heavyQuota,
+			RetryAfter: *retryAfter,
+			Chaos:      *chaos,
+			ChaosSeed:  *chaosSeed,
+			ChaosDelay: *chaosDelay,
+			Logger:     log,
+		},
+		Logger: log,
+	}
+
+	rep, err := runHarness(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlbload:", err)
+		os.Exit(1)
+	}
+	if err := benchparse.ValidateServer(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "tlbload: generated report is invalid:", err)
+		os.Exit(1)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlbload:", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc) //nolint:errcheck // best-effort stdout
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tlbload:", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		err := checkIsolation(rep, scenarioCalibrate, scenarioOverload, isolationCheck{
+			Light: lightTenant, Heavy: heavyTenant,
+			P99Ratio:   *p99Ratio,
+			P99FloorMs: float64(*p99Floor) / float64(time.Millisecond),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbload: degradation contract violated:", err)
+			os.Exit(1)
+		}
+		log.Info("graceful degradation holds",
+			"light_p99_ms", rep.Scenarios[scenarioOverload].Tenants[lightTenant].LatencyMsP99,
+			"heavy_shed", rep.Scenarios[scenarioOverload].Tenants[heavyTenant].Shed,
+			"heavy_retry_after_max_s", rep.Scenarios[scenarioOverload].Tenants[heavyTenant].RetryAfterMaxS)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hybridtlb/internal/benchparse"
+)
+
+// TestLoadSmoke is the overload proof CI runs (`make load-smoke`): a
+// short two-tenant 10:1 skewed run against the in-process server,
+// asserting the graceful-degradation contract — zero non-shed errors,
+// the heavy tenant shed with an adaptive Retry-After hint, and the
+// light tenant's p99 bounded relative to its uncontended calibration.
+// When TLBLOAD_OUT is set, the validated report is also written there
+// (that is how the committed BENCH_server.json is regenerated).
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke needs a few seconds of wall clock")
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg := harnessConfig{
+		LightRPS:   30,
+		Skew:       10,
+		Calibrate:  800 * time.Millisecond,
+		Overload:   1500 * time.Millisecond,
+		SweepEvery: 5,
+		Work:       workload{Accesses: 2000, FootprintPages: 1024, Seed: 1},
+		Selftest: selftestOptions{
+			Workers:    2,
+			QueueDepth: 2,
+			HeavyRate:  40,
+			HeavyQuota: 4,
+			RetryAfter: time.Second,
+			Logger:     quiet,
+		},
+		Logger: quiet,
+	}
+
+	rep, err := runHarness(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("runHarness: %v", err)
+	}
+	if err := benchparse.ValidateServer(rep); err != nil {
+		t.Fatalf("generated report invalid: %v", err)
+	}
+
+	// The 250ms floor absorbs CI scheduler noise on the sub-millisecond
+	// calibrated p99; the 2× ratio is the contract from the design doc.
+	err = checkIsolation(rep, scenarioCalibrate, scenarioOverload, isolationCheck{
+		Light: lightTenant, Heavy: heavyTenant,
+		P99Ratio:   2.0,
+		P99FloorMs: 250,
+	})
+	if err != nil {
+		t.Fatalf("degradation contract violated: %v", err)
+	}
+
+	over := rep.Scenarios[scenarioOverload].Tenants
+	if over[heavyTenant].Shed == 0 {
+		t.Fatalf("heavy tenant was never shed: %+v", over[heavyTenant])
+	}
+	// Graceful degradation means the light tenant barely notices the
+	// abuse: at least 80% of its offered load must still be accepted.
+	if la, lo := over[lightTenant].Accepted, over[lightTenant].Offered; la*5 < lo*4 {
+		t.Fatalf("light tenant shed too much under overload: accepted %d of %d offered", la, lo)
+	}
+	t.Logf("light: %+v", over[lightTenant])
+	t.Logf("heavy: %+v", over[heavyTenant])
+
+	if out := os.Getenv("TLBLOAD_OUT"); out != "" {
+		doc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", out, err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}
+
+// TestCommittedArtifactValid keeps the checked-in BENCH_server.json
+// honest: it must parse as a ServerReport and pass the same validator
+// tlbload applies before writing one.
+func TestCommittedArtifactValid(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_server.json")
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read committed artifact: %v (regenerate with `make load-smoke`)", err)
+	}
+	var rep benchparse.ServerReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatalf("committed artifact does not parse: %v", err)
+	}
+	if err := benchparse.ValidateServer(rep); err != nil {
+		t.Fatalf("committed artifact invalid: %v (regenerate with `make load-smoke`)", err)
+	}
+}

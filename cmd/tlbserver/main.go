@@ -37,6 +37,7 @@ import (
 	"hybridtlb/internal/fabric"
 	"hybridtlb/internal/persist"
 	"hybridtlb/internal/server"
+	"hybridtlb/internal/tenant"
 )
 
 func main() {
@@ -57,6 +58,9 @@ func main() {
 		chaosSeed    = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection")
 		chaosDelay   = flag.Duration("chaos-delay", 0, "max injected per-cell delay (testing only)")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		keyfile      = flag.String("tenant-keyfile", "", "JSON tenant keyfile; enables bearer-key auth, per-tenant rate/quota limits and weighted fair-share scheduling")
+		retryAfter   = flag.Duration("retry-after", 2*time.Second, "floor for the adaptive Retry-After hint on 429 responses")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in; reveals internals)")
 
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "prune the durable result store oldest-first past this size after each job (0: unbounded)")
 		coordinator   = flag.String("coordinator", "", "fabric RPC listen address; enables distributed sweeps (requires -state-dir)")
@@ -91,6 +95,17 @@ func main() {
 		log.Warn("fault injection enabled", "rate", *chaos, "seed", *chaosSeed, "delay", *chaosDelay)
 	}
 
+	var registry *tenant.Registry
+	if *keyfile != "" {
+		var err error
+		registry, err = tenant.Load(*keyfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbserver:", err)
+			os.Exit(2)
+		}
+		log.Info("multi-tenant admission enabled", "keyfile", *keyfile, "tenants", registry.Len())
+	}
+
 	cfg := server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
@@ -105,6 +120,9 @@ func main() {
 		Retry:            hybridtlb.RetryPolicy{MaxAttempts: *retries, Seed: *chaosSeed},
 		Faults:           faults,
 		Logger:           log,
+		RetryAfter:       *retryAfter,
+		Tenants:          registry,
+		EnablePprof:      *enablePprof,
 	}
 
 	// Coordinator mode: open the shared store up front, run sweeps

@@ -37,6 +37,7 @@ func main() {
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "prune the local cache oldest-first past this size (0: unbounded)")
 		heartbeat     = flag.Duration("heartbeat", time.Second, "coordinator liveness ping interval")
 		poll          = flag.Duration("poll", 250*time.Millisecond, "idle wait between lease requests")
+		dialAttempts  = flag.Int("dial-attempts", 30, "consecutive failed coordinator dials before exiting nonzero (0: retry forever)")
 		retries       = flag.Int("retries", 1, "attempts per cell before its error is reported to the coordinator")
 		chaos         = flag.Float64("chaos", 0, "fault-injection rate [0,1) for transient cell failures (testing only)")
 		chaosSeed     = flag.Int64("chaos-seed", 1, "deterministic seed for fault injection")
@@ -92,6 +93,7 @@ func main() {
 		Faults:        faults,
 		Heartbeat:     *heartbeat,
 		Poll:          *poll,
+		DialAttempts:  *dialAttempts,
 		Logger:        log,
 	})
 	if err != nil {

@@ -1,0 +1,127 @@
+package benchparse
+
+// BENCH_server.json: the committed artifact cmd/tlbload renders after
+// a load run against the multi-tenant server. Like the pipeline
+// report, the document is deterministic for a given set of inputs —
+// maps render key-sorted and all fields are plain numbers — so CI can
+// diff and validate the bytes. The measured numbers themselves vary
+// run to run (they are wall-clock latencies); Validate checks shape
+// and internal consistency, not specific values.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TenantLoadStats is one tenant's measured service during a scenario.
+type TenantLoadStats struct {
+	// Offered is every request the generator sent; Accepted are 2xx,
+	// Shed are 429s (admission working as designed), Errors is
+	// everything else — transport failures, 5xx, unexpected 4xx.
+	Offered  int `json:"offered"`
+	Accepted int `json:"accepted"`
+	Shed     int `json:"shed"`
+	Errors   int `json:"errors"`
+	// Sweeps counts the async POST /v1/sweeps submissions within
+	// Offered (the rest were synchronous simulates).
+	Sweeps int `json:"sweeps,omitempty"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Request latencies in milliseconds, over accepted requests.
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+	LatencyMsP999 float64 `json:"latency_ms_p999"`
+
+	// RetryAfterMaxS is the largest Retry-After hint observed on this
+	// tenant's 429s — evidence the adaptive hint scales under load.
+	RetryAfterMaxS float64 `json:"retry_after_max_s,omitempty"`
+}
+
+// LoadScenario is one phase of a load run (e.g. "calibrate",
+// "overload"), keyed by tenant.
+type LoadScenario struct {
+	DurationS float64                    `json:"duration_s"`
+	Tenants   map[string]TenantLoadStats `json:"tenants"`
+}
+
+// ServerReport is the BENCH_server.json document.
+type ServerReport struct {
+	Harness   string                  `json:"harness"` // always "tlbload"
+	Seed      int64                   `json:"seed"`
+	Scenarios map[string]LoadScenario `json:"scenarios"`
+}
+
+// ValidateServer checks a ServerReport for shape and internal
+// consistency: counts must add up and percentiles must be ordered.
+// This is the "format-valid BENCH_server.json" gate CI runs against
+// the committed artifact.
+func ValidateServer(rep ServerReport) error {
+	if rep.Harness != "tlbload" {
+		return fmt.Errorf("benchparse: server report harness %q, want \"tlbload\"", rep.Harness)
+	}
+	if len(rep.Scenarios) == 0 {
+		return fmt.Errorf("benchparse: server report has no scenarios")
+	}
+	scenarios := make([]string, 0, len(rep.Scenarios))
+	for name := range rep.Scenarios {
+		scenarios = append(scenarios, name)
+	}
+	sort.Strings(scenarios)
+	for _, name := range scenarios {
+		sc := rep.Scenarios[name]
+		if sc.DurationS <= 0 {
+			return fmt.Errorf("benchparse: scenario %q has non-positive duration", name)
+		}
+		if len(sc.Tenants) == 0 {
+			return fmt.Errorf("benchparse: scenario %q has no tenants", name)
+		}
+		tenants := make([]string, 0, len(sc.Tenants))
+		for t := range sc.Tenants {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			ts := sc.Tenants[t]
+			if ts.Offered != ts.Accepted+ts.Shed+ts.Errors {
+				return fmt.Errorf("benchparse: %s/%s: offered %d != accepted %d + shed %d + errors %d",
+					name, t, ts.Offered, ts.Accepted, ts.Shed, ts.Errors)
+			}
+			if ts.LatencyMsP50 > ts.LatencyMsP99 || ts.LatencyMsP99 > ts.LatencyMsP999 {
+				return fmt.Errorf("benchparse: %s/%s: percentiles out of order (p50 %g, p99 %g, p999 %g)",
+					name, t, ts.LatencyMsP50, ts.LatencyMsP99, ts.LatencyMsP999)
+			}
+			for label, v := range map[string]float64{
+				"throughput": ts.ThroughputRPS, "p50": ts.LatencyMsP50,
+				"p99": ts.LatencyMsP99, "p999": ts.LatencyMsP999,
+			} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("benchparse: %s/%s: %s is %g", name, t, label, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of values by
+// nearest-rank on a sorted copy; 0 for an empty slice. Used by the
+// load harness for p50/p99/p999 and deliberately simple — no
+// interpolation, so the result is always an observed value.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,108 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func validServerReport() ServerReport {
+	return ServerReport{
+		Harness: "tlbload",
+		Seed:    1,
+		Scenarios: map[string]LoadScenario{
+			"overload": {
+				DurationS: 3,
+				Tenants: map[string]TenantLoadStats{
+					"light": {
+						Offered: 60, Accepted: 60,
+						ThroughputRPS: 20,
+						LatencyMsP50:  4, LatencyMsP99: 9, LatencyMsP999: 12,
+					},
+					"heavy": {
+						Offered: 600, Accepted: 80, Shed: 520,
+						ThroughputRPS: 26.7,
+						LatencyMsP50:  5, LatencyMsP99: 30, LatencyMsP999: 55,
+						RetryAfterMaxS: 12,
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestValidateServerAccepts(t *testing.T) {
+	if err := ValidateServer(validServerReport()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+}
+
+func TestValidateServerRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ServerReport)
+		want   string
+	}{
+		{"wrong harness", func(r *ServerReport) { r.Harness = "wrk" }, "harness"},
+		{"no scenarios", func(r *ServerReport) { r.Scenarios = nil }, "no scenarios"},
+		{"no tenants", func(r *ServerReport) {
+			r.Scenarios["overload"] = LoadScenario{DurationS: 1}
+		}, "no tenants"},
+		{"zero duration", func(r *ServerReport) {
+			sc := r.Scenarios["overload"]
+			sc.DurationS = 0
+			r.Scenarios["overload"] = sc
+		}, "duration"},
+		{"counts disagree", func(r *ServerReport) {
+			sc := r.Scenarios["overload"]
+			ts := sc.Tenants["light"]
+			ts.Shed = 7 // offered stays 60, so the sum no longer adds up
+			sc.Tenants["light"] = ts
+		}, "offered"},
+		{"percentiles inverted", func(r *ServerReport) {
+			sc := r.Scenarios["overload"]
+			ts := sc.Tenants["heavy"]
+			ts.LatencyMsP99 = ts.LatencyMsP999 + 1
+			sc.Tenants["heavy"] = ts
+		}, "percentiles"},
+		{"negative throughput", func(r *ServerReport) {
+			sc := r.Scenarios["overload"]
+			ts := sc.Tenants["light"]
+			ts.ThroughputRPS = -1
+			sc.Tenants["light"] = ts
+		}, "throughput"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := validServerReport()
+			tc.mutate(&rep)
+			err := ValidateServer(rep)
+			if err == nil {
+				t.Fatalf("mutated report accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3} // deliberately unsorted
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.99, 5}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(vals, tc.q); got != tc.want {
+			t.Errorf("Quantile(q=%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %g, want 0", got)
+	}
+	if vals[0] != 5 {
+		t.Errorf("Quantile mutated its input: %v", vals)
+	}
+}

@@ -638,3 +638,86 @@ func TestServeClosesConnectionsOnShutdown(t *testing.T) {
 		t.Fatal("call on a torn-down connection succeeded; Serve left the connection open")
 	}
 }
+
+// TestWorkerDialBudgetExhausted: a worker pointed at a dead address
+// must stop redialing after DialAttempts consecutive failures and
+// surface ErrDialBudgetExhausted — the regression guard for workers
+// spinning forever on a wrong or retired coordinator address.
+func TestWorkerDialBudgetExhausted(t *testing.T) {
+	// Grab a port that refuses connections: listen, note the address,
+	// close. Nothing is accepting there afterwards.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:  addr,
+		Version:      testVersion,
+		DialAttempts: 3,
+		RedialBase:   time.Millisecond,
+		RedialMax:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run(context.Background()) }()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrDialBudgetExhausted) {
+			t.Fatalf("Run = %v, want ErrDialBudgetExhausted", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker kept redialing past its dial budget")
+	}
+}
+
+// TestWorkerDialBudgetResetsAfterSession: once a session is
+// established, the consecutive-dial counter starts over — the budget
+// bounds "never reached the coordinator", not ordinary churn.
+func TestWorkerDialBudgetResetsAfterSession(t *testing.T) {
+	c := newTestCoordinator(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go NewService(c).Serve(ln) //nolint:errcheck // returns nil when ln closes
+
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:  ln.Addr().String(),
+		Version:      testVersion,
+		DialAttempts: 2,
+		RedialBase:   time.Millisecond,
+		RedialMax:    5 * time.Millisecond,
+		Heartbeat:    5 * time.Millisecond,
+		Poll:         time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run(context.Background()) }()
+
+	// Let the worker register, then kill the listener: every session
+	// end from here on is a failed dial, so with the counter reset by
+	// the successful session the worker still gets its full budget of 2.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Snapshot().WorkersLive != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ln.Close() // Serve tears down the live session too
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrDialBudgetExhausted) {
+			t.Fatalf("Run = %v, want ErrDialBudgetExhausted after budget respent", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exhaust its dial budget after the coordinator died")
+	}
+}

@@ -24,6 +24,18 @@ var errUnregistered = errors.New("fabric: worker not registered with coordinator
 // coordinator, so redialing would loop forever.
 var errVersionSkew = errors.New("fabric: build version skew")
 
+// errDial wraps a failed coordinator dial, so Run can tell "could not
+// connect at all" apart from "a live session broke" when spending the
+// dial budget.
+var errDial = errors.New("fabric: dial coordinator")
+
+// ErrDialBudgetExhausted is returned by Run when DialAttempts
+// consecutive dials failed without a single session being established.
+// Callers should treat it as "the coordinator address is wrong or the
+// coordinator is gone" and exit nonzero so supervisors notice, instead
+// of the worker spinning on a dead address forever.
+var ErrDialBudgetExhausted = errors.New("fabric: coordinator unreachable; dial budget exhausted")
+
 // WorkerConfig tunes a Worker.
 type WorkerConfig struct {
 	// Coordinator is the fabric RPC address to dial. Required.
@@ -58,6 +70,12 @@ type WorkerConfig struct {
 	// (defaults 500ms / 15s).
 	RedialBase time.Duration
 	RedialMax  time.Duration
+	// DialAttempts caps consecutive failed dials before Run gives up
+	// with ErrDialBudgetExhausted. Any established session resets the
+	// count — the budget bounds "never reached the coordinator", not
+	// ordinary session churn. 0: retry forever (the old behavior, and
+	// the library default for embedders that manage their own budget).
+	DialAttempts int
 	// Logger receives session and cell logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -115,6 +133,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		ctx = context.Background()
 	}
 	backoff := w.cfg.RedialBase
+	failedDials := 0
 	for {
 		err := w.session(ctx)
 		if ctx.Err() != nil {
@@ -122,6 +141,17 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		if errors.Is(err, errVersionSkew) {
 			return err
+		}
+		if errors.Is(err, errDial) {
+			failedDials++
+			if w.cfg.DialAttempts > 0 && failedDials >= w.cfg.DialAttempts {
+				return fmt.Errorf("%w: %d consecutive dials to %s failed, last: %v",
+					ErrDialBudgetExhausted, failedDials, w.cfg.Coordinator, err)
+			}
+		} else {
+			// We reached the coordinator; whatever broke the session is
+			// churn, not an unreachable address.
+			failedDials = 0
 		}
 		if errors.Is(err, errUnregistered) {
 			w.log.Info("coordinator forgot us; re-registering")
@@ -145,7 +175,7 @@ func (w *Worker) session(ctx context.Context) error {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", w.cfg.Coordinator)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errDial, err)
 	}
 	client := rpc.NewClient(conn)
 	defer client.Close() // best-effort teardown; double-close after the lease loop is ErrShutdown, which is fine

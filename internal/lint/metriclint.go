@@ -47,7 +47,11 @@ var MetricLint = &analysis.Analyzer{
 //   - le: histogram bucket bounds from a fixed bucket table.
 //   - worker: live fabric workers only — bounded by fleet size; dead
 //     workers leave the gauge when membership declares them dead.
-const defaultBoundedLabels = "route,le,worker"
+//   - tenant: names from the static keyfile loaded at startup — the
+//     admission layer authenticates before any labeled counter is
+//     touched, so unknown keys can never mint a series (see
+//     internal/tenant's cardinality contract).
+const defaultBoundedLabels = "route,le,worker,tenant"
 
 var metricBoundedLabels string
 

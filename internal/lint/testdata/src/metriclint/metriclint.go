@@ -56,3 +56,14 @@ func writeProse(w io.Writer, event string) {
 	fmt.Fprintf(w, "event: %s\n", event)
 	fmt.Fprintln(w, "done")
 }
+
+// writeTenant is the cardinality contract in miniature: "tenant" is on
+// the reviewed bounded-labels list (values come from a static keyfile
+// authenticated before any counter is touched), so a plain-string
+// tenant name passes — while a raw job ID on the same family still
+// mints a series per value and fails.
+func writeTenant(w io.Writer, tenantName, jobID string, n int) {
+	fmt.Fprintln(w, "# TYPE fixture_tenant_requests_total counter")
+	fmt.Fprintf(w, "fixture_tenant_requests_total{tenant=%q} %d\n", tenantName, n)
+	fmt.Fprintf(w, "fixture_tenant_requests_total{tenant=%q,job=%q} %d\n", tenantName, jobID, n) // want "unbounded plain-string value"
+}

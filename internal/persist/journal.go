@@ -38,6 +38,10 @@ type Record struct {
 	Error   string          `json:"error,omitempty"`
 	Cells   int             `json:"cells,omitempty"`
 	Request json.RawMessage `json:"request,omitempty"`
+	// Tenant and Priority travel with "accepted" records so a resumed
+	// job lands back in the right fair-share queue after a restart.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 }
 
 // Journal is an append-only JSONL log. Appends are serialized and

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridtlb/internal/tenant"
+)
+
+// Admission control: who may submit work, how fast, and how much at
+// once. Every /v1 request resolves to a tenant (the keyfile tenant its
+// bearer key names, or the implicit default on registry-less servers)
+// and passes three gates before touching the simulator:
+//
+//  1. a per-tenant token bucket on request rate,
+//  2. a per-tenant in-flight quota on concurrently held work,
+//  3. the per-tenant bounded queue (sweeps) / worker semaphore
+//     (synchronous simulate).
+//
+// Refusals are 429s labeled by gate, and the Retry-After hint is
+// derived from live queue depth and the observed drain rate rather
+// than a constant — an overloaded server tells clients how long the
+// backlog actually is.
+
+// shedReason labels which admission gate refused a request; the set is
+// closed, keeping the tenant_shed metric's cardinality bounded.
+type shedReason string
+
+const (
+	// shedRate: the tenant's token bucket was empty.
+	shedRate shedReason = "rate"
+	// shedQuota: the tenant's in-flight quota was exhausted.
+	shedQuota shedReason = "quota"
+	// shedQueue: the tenant's sweep queue was full.
+	shedQueue shedReason = "queue"
+	// shedCapacity: the synchronous-simulate semaphore was full.
+	shedCapacity shedReason = "capacity"
+)
+
+// tenantState is one tenant's live admission state: its configured
+// limits plus the counters they gate.
+type tenantState struct {
+	name        string
+	weight      int
+	maxInFlight int64
+	bucket      *tenant.Bucket // nil: unlimited rate
+	inflight    atomic.Int64
+}
+
+func newTenantState(t tenant.Tenant) *tenantState {
+	st := &tenantState{name: t.Name, weight: t.Weight, maxInFlight: int64(t.MaxInFlight)}
+	if t.RatePerSec > 0 {
+		st.bucket = tenant.NewBucket(t.RatePerSec, t.Burst)
+	}
+	return st
+}
+
+// tryAcquire claims one in-flight slot, refusing past the quota
+// (maxInFlight <= 0 is unlimited).
+func (t *tenantState) tryAcquire() bool {
+	for {
+		cur := t.inflight.Load()
+		if t.maxInFlight > 0 && cur >= t.maxInFlight {
+			return false
+		}
+		if t.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// forceAcquire claims a slot past the quota — recovery resumes
+// journaled jobs even when the keyfile shrank a quota under them;
+// availability of accepted work beats strict accounting.
+func (t *tenantState) forceAcquire() { t.inflight.Add(1) }
+
+func (t *tenantState) release() { t.inflight.Add(-1) }
+
+// authorize resolves the request's tenant. Registry-less servers map
+// everyone to the implicit default tenant; with a keyfile, a missing or
+// unknown bearer key is 401 (and never reveals which part was wrong).
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (*tenantState, bool) {
+	if !s.multiTenant {
+		ts := s.tenants[tenant.DefaultName]
+		s.metrics.observeTenantRequest(ts.name)
+		return ts, true
+	}
+	if key, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
+		if ts, found := s.tenantKeys[strings.TrimSpace(key)]; found {
+			s.metrics.observeTenantRequest(ts.name)
+			return ts, true
+		}
+	}
+	s.metrics.authFailures.Add(1)
+	w.Header().Set("WWW-Authenticate", `Bearer realm="tlbserver"`)
+	writeError(w, &apiError{Status: http.StatusUnauthorized, Code: codeUnauthenticated,
+		Message: "missing or unknown API key; send 'Authorization: Bearer <key>'"})
+	return nil, false
+}
+
+// admitRate applies the tenant's token bucket; a refusal is a 429
+// whose Retry-After is the larger of the bucket's token-maturity time
+// and the queue-drain estimate.
+func (s *Server) admitRate(w http.ResponseWriter, ts *tenantState) bool {
+	now := time.Now()
+	if ts.bucket.Allow(now) {
+		return true
+	}
+	hint := s.retryAfterHint(s.queue.tenantDepth(ts.name))
+	if wait := ts.bucket.RetryAfter(now); wait > hint {
+		hint = wait
+	}
+	s.shed(w, ts, shedRate, hint,
+		fmt.Sprintf("tenant %q is over its request rate", ts.name))
+	return false
+}
+
+// shed emits one 429 with the adaptive Retry-After hint and accounts
+// it under the tenant and the gate that refused.
+func (s *Server) shed(w http.ResponseWriter, ts *tenantState, reason shedReason, hint time.Duration, msg string) {
+	s.metrics.observeShed(ts.name, reason)
+	s.metrics.rejected.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds(hint.Seconds()))
+	writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
+		Message: msg + "; retry later"})
+}
+
+// releaseJob returns the in-flight slot a sweep job holds from
+// admission until its terminal transition.
+func (s *Server) releaseJob(j *job) {
+	if ts := s.tenants[j.tenant]; ts != nil {
+		ts.release()
+	}
+}
+
+// drainEstimator tracks how fast workers retire jobs as an EWMA of
+// per-job wall time, feeding the adaptive Retry-After hint.
+type drainEstimator struct {
+	mu     sync.Mutex
+	perJob float64 // EWMA seconds per job
+	seeded bool
+}
+
+func (e *drainEstimator) observe(d time.Duration) {
+	s := d.Seconds()
+	e.mu.Lock()
+	if !e.seeded {
+		e.perJob, e.seeded = s, true
+	} else {
+		// 0.3 weights recent jobs enough to track load shifts within a
+		// few completions without one outlier whipsawing the hint.
+		e.perJob = 0.7*e.perJob + 0.3*s
+	}
+	e.mu.Unlock()
+}
+
+// estimate returns the EWMA seconds per job; ok is false until the
+// first job completes.
+func (e *drainEstimator) estimate() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.perJob, e.seeded
+}
+
+// retryAfterHint derives the 429 backoff hint from live state: the
+// time the worker pool needs to drain `queued` jobs at the observed
+// per-job rate, floored at the configured constant (which stands alone
+// until the first job completes — the old static behavior) and capped
+// at RetryAfterMax so a deep backlog never tells clients to go away
+// for hours.
+func (s *Server) retryAfterHint(queued int) time.Duration {
+	hint := s.cfg.RetryAfter
+	if perJob, ok := s.drainEst.estimate(); ok {
+		est := time.Duration(float64(queued+1) * perJob / float64(s.cfg.Workers) * float64(time.Second))
+		if est > hint {
+			hint = est
+		}
+	}
+	if hint > s.cfg.RetryAfterMax {
+		hint = s.cfg.RetryAfterMax
+	}
+	return hint
+}

@@ -24,14 +24,15 @@ func (e *apiError) Error() string { return e.Message }
 
 // Error codes returned in the envelope.
 const (
-	codeInvalidRequest = "invalid_request"
-	codeNotFound       = "not_found"
-	codeOverloaded     = "overloaded"
-	codeShuttingDown   = "shutting_down"
-	codeTimeout        = "timeout"
-	codeInternal       = "internal_error"
-	codeConflict       = "conflict"
-	codeGone           = "gone"
+	codeInvalidRequest  = "invalid_request"
+	codeNotFound        = "not_found"
+	codeOverloaded      = "overloaded"
+	codeShuttingDown    = "shutting_down"
+	codeTimeout         = "timeout"
+	codeInternal        = "internal_error"
+	codeConflict        = "conflict"
+	codeGone            = "gone"
+	codeUnauthenticated = "unauthenticated"
 )
 
 func invalidField(field, format string, args ...any) *apiError {
@@ -166,6 +167,11 @@ type SweepRequest struct {
 	FootprintPages     uint64 `json:"footprint_pages,omitempty"`
 	CostModel          string `json:"cost_model,omitempty"`
 	MultiRegionAnchors bool   `json:"multi_region_anchors,omitempty"`
+
+	// Priority picks the lane within the submitting tenant's fair-share
+	// queue: "interactive" overtakes the tenant's own "batch" backlog
+	// (never another tenant's share). Empty means batch.
+	Priority string `json:"priority,omitempty"`
 }
 
 // expand validates the axes and returns the grid's cells in

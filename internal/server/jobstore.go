@@ -42,6 +42,11 @@ type job struct {
 	id      string
 	configs []hybridtlb.SimulationConfig
 	echoes  []SimulateRequest
+	// tenant names the submitting tenant (tenant.DefaultName on
+	// registry-less servers); priority is its lane within that tenant's
+	// fair-share queue. Both are immutable after construction.
+	tenant   string
+	priority Priority
 
 	// canceled flips before cancel may exist (a DELETE can land while
 	// the job is still queued); workers check it before running.
@@ -65,27 +70,31 @@ type job struct {
 	nextSub  int
 }
 
-func newJob(cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest) *job {
+func newJob(cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest, tenantName string, prio Priority) *job {
 	return &job{
-		id:      "swp_" + randomID(),
-		configs: cfgs,
-		echoes:  echoes,
-		state:   JobQueued,
-		created: time.Now().UTC(),
-		subs:    make(map[int]chan struct{}),
+		id:       "swp_" + randomID(),
+		configs:  cfgs,
+		echoes:   echoes,
+		tenant:   tenantName,
+		priority: prio,
+		state:    JobQueued,
+		created:  time.Now().UTC(),
+		subs:     make(map[int]chan struct{}),
 	}
 }
 
 // newRestoredJob rebuilds a journaled job under its original ID so
 // clients polling across a restart keep getting answers.
-func newRestoredJob(id string, cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest, created time.Time) *job {
+func newRestoredJob(id string, cfgs []hybridtlb.SimulationConfig, echoes []SimulateRequest, created time.Time, tenantName string, prio Priority) *job {
 	return &job{
-		id:      id,
-		configs: cfgs,
-		echoes:  echoes,
-		state:   JobQueued,
-		created: created,
-		subs:    make(map[int]chan struct{}),
+		id:       id,
+		configs:  cfgs,
+		echoes:   echoes,
+		tenant:   tenantName,
+		priority: prio,
+		state:    JobQueued,
+		created:  created,
+		subs:     make(map[int]chan struct{}),
 	}
 }
 
@@ -215,6 +224,8 @@ func (j *job) notifyLocked() {
 type JobJSON struct {
 	ID       string     `json:"id"`
 	State    JobState   `json:"state"`
+	Tenant   string     `json:"tenant,omitempty"`
+	Priority string     `json:"priority,omitempty"`
 	Created  time.Time  `json:"created_at"`
 	Started  *time.Time `json:"started_at,omitempty"`
 	Finished *time.Time `json:"finished_at,omitempty"`
@@ -235,13 +246,15 @@ func (j *job) snapshot(withResults bool) JobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := JobJSON{
-		ID:      j.id,
-		State:   j.state,
-		Created: j.created,
-		Done:    j.done,
-		Total:   len(j.configs),
-		Epochs:  j.epochs.Load(),
-		Error:   j.errMsg,
+		ID:       j.id,
+		State:    j.state,
+		Tenant:   j.tenant,
+		Priority: j.priority.String(),
+		Created:  j.created,
+		Done:     j.done,
+		Total:    len(j.configs),
+		Epochs:   j.epochs.Load(),
+		Error:    j.errMsg,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -22,11 +22,21 @@ type metrics struct {
 	// startup; resumed counts interrupted jobs re-enqueued.
 	recovered atomic.Int64
 	resumed   atomic.Int64
+	// authFailures counts /v1 requests refused 401. Deliberately not
+	// labeled by the presented key — failed keys are attacker-chosen,
+	// unbounded, and secret-adjacent.
+	authFailures atomic.Int64
 
 	mu       sync.Mutex
 	requests map[requestKey]int64
 	latency  map[string]*histogram
 	jobs     map[JobState]int64
+	// Per-tenant families. Cardinality is bounded by the keyfile: the
+	// tenant label only ever takes keyfile names (plus the implicit
+	// default), never anything request-derived.
+	tenantRequests map[string]int64
+	tenantSheds    map[shedKey]int64
+	tenantJobs     map[tenantJobKey]int64
 }
 
 type requestKey struct {
@@ -34,11 +44,24 @@ type requestKey struct {
 	code  int
 }
 
+type shedKey struct {
+	tenant string
+	reason shedReason
+}
+
+type tenantJobKey struct {
+	tenant string
+	state  JobState
+}
+
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[requestKey]int64),
-		latency:  make(map[string]*histogram),
-		jobs:     make(map[JobState]int64),
+		requests:       make(map[requestKey]int64),
+		latency:        make(map[string]*histogram),
+		jobs:           make(map[JobState]int64),
+		tenantRequests: make(map[string]int64),
+		tenantSheds:    make(map[shedKey]int64),
+		tenantJobs:     make(map[tenantJobKey]int64),
 	}
 }
 
@@ -56,10 +79,25 @@ func (m *metrics) observeRequest(route string, code int, d time.Duration) {
 	h.observe(d.Seconds())
 }
 
-// observeJob counts a job reaching a terminal state.
-func (m *metrics) observeJob(state JobState) {
+// observeJob counts a job reaching a terminal state, per tenant.
+func (m *metrics) observeJob(state JobState, tenantName string) {
 	m.mu.Lock()
 	m.jobs[state]++
+	m.tenantJobs[tenantJobKey{tenantName, state}]++
+	m.mu.Unlock()
+}
+
+// observeTenantRequest counts one authenticated /v1 request.
+func (m *metrics) observeTenantRequest(tenantName string) {
+	m.mu.Lock()
+	m.tenantRequests[tenantName]++
+	m.mu.Unlock()
+}
+
+// observeShed counts one 429, by tenant and refusing gate.
+func (m *metrics) observeShed(tenantName string, reason shedReason) {
+	m.mu.Lock()
+	m.tenantSheds[shedKey{tenantName, reason}]++
 	m.mu.Unlock()
 }
 
@@ -105,6 +143,12 @@ type gauges struct {
 	jobEpochs     uint64
 	store         persist.StoreStats
 	ready         bool
+
+	// Per-tenant gauges plus the live Retry-After hint, sampled at
+	// scrape time.
+	tenantQueue    map[string]int
+	tenantInflight map[string]int64
+	retryHint      float64
 }
 
 // write renders the registry in Prometheus text exposition format.
@@ -235,6 +279,66 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE tlbserver_jobs_evicted_total counter")
 	fmt.Fprintf(w, "tlbserver_jobs_evicted_total %d\n", g.evictions)
 
+	fmt.Fprintln(w, "# HELP tlbserver_auth_failures_total Requests refused 401 for a missing or unknown API key.")
+	fmt.Fprintln(w, "# TYPE tlbserver_auth_failures_total counter")
+	fmt.Fprintf(w, "tlbserver_auth_failures_total %d\n", m.authFailures.Load())
+
+	fmt.Fprintln(w, "# HELP tlbserver_tenant_requests_total Authenticated API requests, by tenant (label set bounded by the keyfile).")
+	fmt.Fprintln(w, "# TYPE tlbserver_tenant_requests_total counter")
+	for _, name := range sortedKeys(m.tenantRequests) {
+		fmt.Fprintf(w, "tlbserver_tenant_requests_total{tenant=%q} %d\n", name, m.tenantRequests[name])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_tenant_shed_total Requests shed with 429, by tenant and refusing admission gate.")
+	fmt.Fprintln(w, "# TYPE tlbserver_tenant_shed_total counter")
+	shedKeys := make([]shedKey, 0, len(m.tenantSheds))
+	for k := range m.tenantSheds {
+		shedKeys = append(shedKeys, k)
+	}
+	sort.Slice(shedKeys, func(i, j int) bool {
+		if shedKeys[i].tenant != shedKeys[j].tenant {
+			return shedKeys[i].tenant < shedKeys[j].tenant
+		}
+		return shedKeys[i].reason < shedKeys[j].reason
+	})
+	for _, k := range shedKeys {
+		fmt.Fprintf(w, "tlbserver_tenant_shed_total{tenant=%q,reason=%q} %d\n",
+			k.tenant, k.reason, m.tenantSheds[k])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_tenant_jobs_finished_total Sweep jobs reaching a terminal state, by tenant.")
+	fmt.Fprintln(w, "# TYPE tlbserver_tenant_jobs_finished_total counter")
+	jobKeys := make([]tenantJobKey, 0, len(m.tenantJobs))
+	for k := range m.tenantJobs {
+		jobKeys = append(jobKeys, k)
+	}
+	sort.Slice(jobKeys, func(i, j int) bool {
+		if jobKeys[i].tenant != jobKeys[j].tenant {
+			return jobKeys[i].tenant < jobKeys[j].tenant
+		}
+		return jobKeys[i].state < jobKeys[j].state
+	})
+	for _, k := range jobKeys {
+		fmt.Fprintf(w, "tlbserver_tenant_jobs_finished_total{tenant=%q,state=%q} %d\n",
+			k.tenant, k.state, m.tenantJobs[k])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_tenant_queue_depth Queued sweep jobs, by tenant fair-share queue.")
+	fmt.Fprintln(w, "# TYPE tlbserver_tenant_queue_depth gauge")
+	for _, name := range sortedKeys(g.tenantQueue) {
+		fmt.Fprintf(w, "tlbserver_tenant_queue_depth{tenant=%q} %d\n", name, g.tenantQueue[name])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_tenant_inflight Admitted work currently held (queued + running), by tenant.")
+	fmt.Fprintln(w, "# TYPE tlbserver_tenant_inflight gauge")
+	for _, name := range sortedKeys(g.tenantInflight) {
+		fmt.Fprintf(w, "tlbserver_tenant_inflight{tenant=%q} %d\n", name, g.tenantInflight[name])
+	}
+
+	fmt.Fprintln(w, "# HELP tlbserver_retry_after_hint_seconds Adaptive Retry-After a 429 would carry right now, from queue depth over the observed drain rate.")
+	fmt.Fprintln(w, "# TYPE tlbserver_retry_after_hint_seconds gauge")
+	fmt.Fprintf(w, "tlbserver_retry_after_hint_seconds %g\n", g.retryHint)
+
 	fmt.Fprintln(w, "# HELP tlbserver_ready Whether the server is accepting work (0 while draining).")
 	fmt.Fprintln(w, "# TYPE tlbserver_ready gauge")
 	ready := 0
@@ -242,4 +346,15 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		ready = 1
 	}
 	fmt.Fprintf(w, "tlbserver_ready %d\n", ready)
+}
+
+// sortedKeys returns a map's string keys in sorted order, for
+// deterministic scrape output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -6,19 +6,21 @@ import (
 	"sync"
 )
 
-// errQueueFull sheds load: the bounded buffer has no room, the client
-// should retry later (the handler maps this to 429 + Retry-After).
-var errQueueFull = errors.New("server: job queue full")
+// errQueueFull sheds load: the submitting tenant's bounded queue has no
+// room, the client should retry later (the handler maps this to 429
+// with an adaptive Retry-After).
+var errQueueFull = errors.New("server: tenant job queue full")
 
 // errQueueClosed rejects submissions after shutdown began (503).
 var errQueueClosed = errors.New("server: job queue draining")
 
-// queue executes jobs on a fixed worker pool fed by a bounded buffer.
-// The buffer is the server's only admission control: when it is full,
-// submit fails immediately instead of queueing unboundedly, and the
-// HTTP layer turns that into backpressure.
+// queue executes jobs on a fixed worker pool fed by the weighted
+// fair-share scheduler: every tenant owns a bounded queue and workers
+// drain them in deficit-round-robin order, so one tenant's backlog
+// never starves another's. A full tenant queue fails submit
+// immediately instead of queueing unboundedly, and the HTTP layer
+// turns that into per-tenant backpressure.
 type queue struct {
-	ch  chan *job
 	run func(ctx context.Context, j *job)
 
 	// baseCtx parents every job context; canceling it aborts in-flight
@@ -26,17 +28,25 @@ type queue struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// wake carries one token per submission (capacity = workers, so a
+	// burst wakes the whole pool); done is close-signaled by drain.
+	wake chan struct{}
+	done chan struct{}
+
 	wg     sync.WaitGroup
 	mu     sync.Mutex
+	sched  *scheduler
 	closed bool
 }
 
-func newQueue(workers, depth int, run func(ctx context.Context, j *job)) *queue {
+func newQueue(workers, perTenantDepth int, run func(ctx context.Context, j *job)) *queue {
 	q := &queue{
-		ch:  make(chan *job, depth),
-		run: run,
+		run:   run,
+		sched: newScheduler(perTenantDepth),
+		wake:  make(chan struct{}, workers),
+		done:  make(chan struct{}),
 	}
-	// tlbvet:ignore ctxflow the pool outlives any request; its lifetime is bound to close(), not a caller's context.
+	// tlbvet:ignore ctxflow the pool outlives any request; its lifetime is bound to drain(), not a caller's context.
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -47,33 +57,94 @@ func newQueue(workers, depth int, run func(ctx context.Context, j *job)) *queue 
 
 func (q *queue) worker() {
 	defer q.wg.Done()
-	for j := range q.ch {
-		q.run(q.baseCtx, j)
+	for {
+		if j := q.pop(); j != nil {
+			q.run(q.baseCtx, j)
+			continue
+		}
+		select {
+		case <-q.wake:
+			// A submission landed (or a token from an already-served
+			// burst); loop and contend for it.
+		case <-q.done:
+			// Draining: serve whatever is still queued, then exit. The
+			// drain deadline cancels baseCtx, so late jobs finish as
+			// canceled rather than running long.
+			for {
+				j := q.pop()
+				if j == nil {
+					return
+				}
+				q.run(q.baseCtx, j)
+			}
+		}
 	}
 }
 
-// submit enqueues without blocking; a full buffer or a draining queue
-// fail fast.
+// addTenant registers a tenant's fair-share weight with the scheduler.
+func (q *queue) addTenant(name string, weight int) {
+	q.mu.Lock()
+	q.sched.addTenant(name, weight)
+	q.mu.Unlock()
+}
+
+// submit enqueues without blocking; a full tenant queue or a draining
+// server fail fast.
 func (q *queue) submit(j *job) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return errQueueClosed
 	}
-	select {
-	case q.ch <- j:
-		return nil
-	default:
-		return errQueueFull
+	err := q.sched.push(j)
+	q.mu.Unlock()
+	if err != nil {
+		return err
 	}
+	select {
+	case q.wake <- struct{}{}:
+	default:
+		// Every worker already has a pending wake token; one of them
+		// will drain this job on its next pop loop.
+	}
+	return nil
 }
 
-// depth returns the number of jobs waiting in the buffer (excluding
-// jobs already running on workers).
-func (q *queue) depth() int { return len(q.ch) }
+// pop takes the next fair-share job, nil when nothing is queued.
+func (q *queue) pop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.pop()
+}
 
-// capacity returns the buffer size.
-func (q *queue) capacity() int { return cap(q.ch) }
+// depth returns the number of jobs waiting across all tenant queues
+// (excluding jobs already running on workers).
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.len()
+}
+
+// tenantDepth returns one tenant's queued jobs.
+func (q *queue) tenantDepth(name string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.tenantDepth(name)
+}
+
+// tenantDepths snapshots per-tenant queue depths for metrics.
+func (q *queue) tenantDepths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.depths()
+}
+
+// capacity returns the per-tenant queue bound.
+func (q *queue) capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.perTenantDepth
+}
 
 // drain stops intake and waits for every queued and in-flight job to
 // finish. If ctx expires first, in-flight job contexts are canceled and
@@ -83,21 +154,21 @@ func (q *queue) drain(ctx context.Context) error {
 	q.mu.Lock()
 	if !q.closed {
 		q.closed = true
-		close(q.ch)
+		close(q.done)
 	}
 	q.mu.Unlock()
 
-	done := make(chan struct{})
+	finished := make(chan struct{})
 	go func() {
 		q.wg.Wait()
-		close(done)
+		close(finished)
 	}()
 	select {
-	case <-done:
+	case <-finished:
 		return nil
 	case <-ctx.Done():
 		q.baseCancel()
-		<-done
+		<-finished
 		return ctx.Err()
 	}
 }

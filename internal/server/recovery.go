@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hybridtlb/internal/persist"
+	"hybridtlb/internal/tenant"
 )
 
 // replayedJob is one job's state folded from the journal: the last
@@ -17,6 +18,8 @@ type replayedJob struct {
 	finished time.Time
 	state    JobState
 	errMsg   string
+	tenant   string
+	priority string
 	rejected bool
 	evicted  bool
 }
@@ -43,6 +46,7 @@ func (s *Server) recover(recs []persist.Record) {
 			}
 			jobs[r.Job] = &replayedJob{
 				id: r.Job, request: r.Request, created: r.Time, state: JobQueued,
+				tenant: r.Tenant, priority: r.Priority,
 			}
 			order = append(order, r.Job)
 		case persist.RecordState:
@@ -92,7 +96,15 @@ func (s *Server) restoreJob(e *replayedJob) {
 		s.log.Warn("recovery: journaled request no longer expands; dropping job", "job", e.id, "err", apiErr.Message)
 		return
 	}
-	j := newRestoredJob(e.id, cfgs, echoes, e.created)
+	// Journals written before tenancy carry no tenant; fold those jobs
+	// into the implicit default tenant. An unknown or stale priority
+	// degrades to batch the same way.
+	owner := e.tenant
+	if owner == "" {
+		owner = tenant.DefaultName
+	}
+	prio, _ := ParsePriority(e.priority)
+	j := newRestoredJob(e.id, cfgs, echoes, e.created, owner, prio)
 
 	switch e.state {
 	case JobDone:
@@ -120,7 +132,15 @@ func (s *Server) restoreJob(e *replayedJob) {
 		s.log.Info("recovery: restored terminal sweep", "job", e.id, "state", string(e.state))
 	default: // queued or running when the process died
 		s.noteEvictions(s.store.add(j))
+		// Claim the tenant's in-flight slot runJob will release. This
+		// bypasses the quota deliberately: the work was admitted before
+		// the crash, and honoring that beats strict accounting even if
+		// the keyfile's quota shrank meanwhile.
+		if ts := s.tenants[owner]; ts != nil {
+			ts.forceAcquire()
+		}
 		if err := s.queue.submit(j); err != nil {
+			s.releaseJob(j)
 			j.restoreTerminal(JobFailed, e.started, time.Now().UTC(), nil,
 				"interrupted by a restart and could not be re-enqueued: "+err.Error())
 			s.journalState(j.id, string(JobFailed), "")

@@ -9,11 +9,20 @@
 // cache deduplicates repeated cells across requests and clients.
 //
 // Production behaviors are first-class: strict request validation with
-// structured field-level errors, a bounded queue that sheds load with
+// structured field-level errors, bounded queues that shed load with
 // 429 + Retry-After instead of growing without bound, per-request and
 // per-job timeouts, /healthz + /readyz, Prometheus-text /metrics, slog
 // access and job logging, and a graceful drain that finishes in-flight
 // jobs before the process exits.
+//
+// The server is multi-tenant: with a tenant keyfile configured
+// (Config.Tenants), every /v1 request authenticates with a bearer key
+// and runs under that tenant's admission limits — token-bucket request
+// rate, in-flight quota, bounded queue share — and the worker pool
+// drains tenant queues by weighted fair share (see sched.go), so one
+// hostile or buggy client degrades its own service, not everyone's.
+// Without a keyfile every caller shares one implicit unlimited tenant
+// and the behavior is the old single-tenant server's.
 package server
 
 import (
@@ -24,6 +33,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
 	"runtime"
 	"sync/atomic"
@@ -31,6 +41,7 @@ import (
 
 	"hybridtlb"
 	"hybridtlb/internal/persist"
+	"hybridtlb/internal/tenant"
 )
 
 // Runner executes simulation batches. *hybridtlb.Sweeper implements it;
@@ -44,8 +55,9 @@ type Runner interface {
 type Config struct {
 	// Workers sizes the sweep worker pool (default 2).
 	Workers int
-	// QueueDepth bounds sweeps waiting for a worker; a full queue sheds
-	// load with 429 (default 8).
+	// QueueDepth bounds sweeps waiting for a worker, per tenant; a
+	// tenant with a full queue is shed with 429 without consuming any
+	// other tenant's room (default 8).
 	QueueDepth int
 	// SweepParallelism bounds concurrent simulations within one sweep
 	// (default GOMAXPROCS). Total simulation concurrency is
@@ -56,8 +68,22 @@ type Config struct {
 	SimulateTimeout time.Duration
 	// JobTimeout budgets one queued sweep job (default 15m).
 	JobTimeout time.Duration
-	// RetryAfter is the hint sent with 429 responses (default 2s).
+	// RetryAfter floors the hint sent with 429 responses (default 2s).
+	// The live hint scales up with queue depth over the observed drain
+	// rate; see retryAfterHint.
 	RetryAfter time.Duration
+	// RetryAfterMax caps the adaptive Retry-After hint (default 5m).
+	RetryAfterMax time.Duration
+	// Tenants, when non-nil, switches on multi-tenant admission:
+	// every /v1 request must carry "Authorization: Bearer <key>" naming
+	// a keyfile tenant, whose rate limit, in-flight quota and
+	// fair-share weight then govern it. Nil: one implicit unlimited
+	// tenant, no authentication (the pre-tenancy behavior).
+	Tenants *tenant.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
+	// profiling during overload investigations. Off by default: the
+	// endpoints reveal internals and cost CPU, so they are opt-in.
+	EnablePprof bool
 	// MaxAccesses caps per-simulation measured accesses
 	// (default 5,000,000; negative disables the cap).
 	MaxAccesses uint64
@@ -126,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
 	}
+	if c.RetryAfterMax <= 0 {
+		c.RetryAfterMax = 5 * time.Minute
+	}
 	if c.MaxAccesses == 0 {
 		c.MaxAccesses = 5_000_000
 	}
@@ -164,6 +193,15 @@ type Server struct {
 	// bounds sweeps; a full semaphore is backpressure, not a wait.
 	simSem chan struct{}
 
+	// tenants indexes admission state by tenant name; tenantKeys by
+	// bearer key. multiTenant is true iff a keyfile was configured (the
+	// maps then exclude the implicit default tenant).
+	tenants     map[string]*tenantState
+	tenantKeys  map[string]*tenantState
+	multiTenant bool
+	// drainEst feeds the adaptive Retry-After hint.
+	drainEst drainEstimator
+
 	// persistStore and journal are non-nil iff Config.StateDir is set.
 	persistStore *persist.ResultStore
 	journal      *persist.Journal
@@ -188,6 +226,22 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		simSem:  make(chan struct{}, cfg.Workers),
 		closing: make(chan struct{}),
+
+		tenants:    make(map[string]*tenantState),
+		tenantKeys: make(map[string]*tenantState),
+	}
+	if cfg.Tenants != nil {
+		s.multiTenant = true
+		for _, name := range cfg.Tenants.Names() {
+			t, _ := cfg.Tenants.Get(name)
+			st := newTenantState(*t)
+			s.tenants[t.Name] = st
+			s.tenantKeys[t.Key] = st
+		}
+	} else {
+		// Registry-less: one implicit tenant with no limits, so the
+		// single-tenant server behaves exactly as before tenancy.
+		s.tenants[tenant.DefaultName] = &tenantState{name: tenant.DefaultName, weight: 1}
 	}
 
 	var replayed []persist.Record
@@ -223,6 +277,11 @@ func New(cfg Config) (*Server, error) {
 		s.runner = hybridtlb.NewSweeper(opts)
 	}
 	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, s.runJob)
+	// Seed the scheduler with every known tenant's fair-share weight;
+	// tenants appearing only in the journal are added lazily at weight 1.
+	for name, st := range s.tenants {
+		s.queue.addTenant(name, st.weight)
+	}
 	if len(replayed) > 0 {
 		s.recover(replayed)
 	}
@@ -236,6 +295,17 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Registered through route() so profile fetches appear in the
+		// access log and request metrics; each fixed pattern is one
+		// bounded label (pprof.Index serves the named sub-profiles
+		// under the trailing-slash pattern itself).
+		s.route("GET /debug/pprof/", pprof.Index)
+		s.route("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.route("GET /debug/pprof/profile", pprof.Profile)
+		s.route("GET /debug/pprof/symbol", pprof.Symbol)
+		s.route("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -342,6 +412,15 @@ func (w *statusWriter) status() int {
 // handleSimulate runs one (or one static-ideal family of) simulation
 // synchronously, bounded by the worker count and the request timeout.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	ts, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	// Rate-limit before reading the body: shedding should cost the
+	// server as close to nothing as possible.
+	if !s.admitRate(w, ts) {
+		return
+	}
 	var req SimulateRequest
 	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
 		writeError(w, apiErr)
@@ -351,6 +430,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+
+	// The tenant's in-flight quota spans sync and async work alike: a
+	// tenant at quota cannot sidestep it by switching endpoints.
+	if !ts.tryAcquire() {
+		s.shed(w, ts, shedQuota, s.retryAfterHint(s.queue.tenantDepth(ts.name)),
+			fmt.Sprintf("tenant %q is at its in-flight quota (%d)", ts.name, ts.maxInFlight))
+		return
+	}
+	defer ts.release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimulateTimeout)
 	defer cancel()
@@ -362,10 +450,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case s.simSem <- struct{}{}:
 		defer func() { <-s.simSem }()
 	default:
-		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter.Seconds()))
-		writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
-			Message: "all workers busy; retry later"})
+		s.shed(w, ts, shedCapacity, s.retryAfterHint(s.queue.depth()), "all workers busy")
 		return
 	}
 
@@ -409,9 +494,22 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 			Message: "server is draining; not accepting new sweeps"})
 		return
 	}
+	ts, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	if !s.admitRate(w, ts) {
+		return
+	}
 	var req SweepRequest
 	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
 		writeError(w, apiErr)
+		return
+	}
+	prio, ok := ParsePriority(req.Priority)
+	if !ok {
+		writeError(w, invalidField("priority",
+			"unknown priority %q (use \"interactive\" or \"batch\")", req.Priority))
 		return
 	}
 	cfgs, echoes, apiErr := req.expand(s.cfg.limits())
@@ -420,30 +518,40 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := newJob(cfgs, echoes)
+	// The job holds one in-flight slot from here until its terminal
+	// transition in runJob (or until a failed submit below).
+	if !ts.tryAcquire() {
+		s.shed(w, ts, shedQuota, s.retryAfterHint(s.queue.tenantDepth(ts.name)),
+			fmt.Sprintf("tenant %q is at its in-flight quota (%d)", ts.name, ts.maxInFlight))
+		return
+	}
+
+	j := newJob(cfgs, echoes, ts.name, prio)
 	// Journal acceptance before the job can reach a worker, so a crash
 	// at any later point leaves a request we can re-expand on restart.
 	s.journalAccepted(j, &req)
 	switch err := s.queue.submit(j); {
 	case errors.Is(err, errQueueFull):
+		ts.release()
 		s.journalState(j.id, "rejected", "")
-		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter.Seconds()))
-		writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
-			Message: fmt.Sprintf("sweep queue full (%d waiting); retry later", s.queue.capacity())})
+		s.shed(w, ts, shedQueue, s.retryAfterHint(s.queue.tenantDepth(ts.name)),
+			fmt.Sprintf("tenant %q sweep queue full (%d waiting)", ts.name, s.queue.tenantDepth(ts.name)))
 		return
 	case errors.Is(err, errQueueClosed):
+		ts.release()
 		s.journalState(j.id, "rejected", "")
 		writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: codeShuttingDown,
 			Message: "server is draining; not accepting new sweeps"})
 		return
 	case err != nil:
+		ts.release()
 		s.journalState(j.id, "rejected", "")
 		writeError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()})
 		return
 	}
 	s.noteEvictions(s.store.add(j))
-	s.log.Info("sweep accepted", "job", j.id, "cells", len(cfgs), "queued", s.queue.depth())
+	s.log.Info("sweep accepted", "job", j.id, "tenant", ts.name,
+		"priority", prio.String(), "cells", len(cfgs), "queued", s.queue.depth())
 	writeJSON(w, http.StatusAccepted, struct {
 		ID        string `json:"id"`
 		Total     int    `json:"total"`
@@ -464,6 +572,7 @@ func (s *Server) journalAccepted(j *job, req *SweepRequest) {
 		err = s.journal.Append(persist.Record{
 			Type: persist.RecordAccepted, Job: j.id, Time: time.Now().UTC(),
 			Cells: len(j.configs), Request: raw,
+			Tenant: j.tenant, Priority: j.priority.String(),
 		})
 	}
 	if err != nil {
@@ -501,11 +610,14 @@ func (s *Server) noteEvictions(ids []string) {
 
 // runJob executes one queued sweep on a worker goroutine.
 func (s *Server) runJob(base context.Context, j *job) {
+	// The in-flight slot acquired at admission is held until here —
+	// terminal transition — so MaxInFlight bounds queued+running work.
+	defer s.releaseJob(j)
 	ctx, cancel := context.WithTimeout(base, s.cfg.JobTimeout)
 	defer cancel()
 	if !j.start(cancel) {
 		s.journalState(j.id, string(JobCanceled), "")
-		s.metrics.observeJob(JobCanceled)
+		s.metrics.observeJob(JobCanceled, j.tenant)
 		s.log.Info("sweep canceled before start", "job", j.id)
 		return
 	}
@@ -536,7 +648,8 @@ func (s *Server) runJob(base context.Context, j *job) {
 	}
 	s.journalState(j.id, string(state), errMsg)
 	s.noteEvictions(s.store.enforceCap())
-	s.metrics.observeJob(state)
+	s.metrics.observeJob(state, j.tenant)
+	s.drainEst.observe(time.Since(start))
 	s.pruneStore()
 
 	stats := s.runner.Stats()
@@ -551,16 +664,38 @@ func (s *Server) runJob(base context.Context, j *job) {
 	)
 }
 
-func (s *Server) handleListSweeps(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	ts, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	all := s.store.list()
+	sweeps := make([]JobJSON, 0, len(all))
+	for _, j := range all {
+		// Tenants see only their own jobs; the registry-less server has
+		// one tenant, so everyone sees everything as before.
+		if !s.multiTenant || j.Tenant == ts.name {
+			sweeps = append(sweeps, j)
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Sweeps []JobJSON `json:"sweeps"`
-	}{s.store.list()})
+	}{sweeps})
 }
 
+// getJob resolves {id} to a job the authenticated tenant owns. Another
+// tenant's job answers 404, not 403 — job IDs must not be probeable.
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
-	id := r.PathValue("id")
-	j, ok := s.store.get(id)
+	ts, ok := s.authorize(w, r)
 	if !ok {
+		return nil, false
+	}
+	id := r.PathValue("id")
+	j, found := s.store.get(id)
+	if found && s.multiTenant && j.tenant != ts.name {
+		j, found = nil, false
+	}
+	if !found {
 		if s.store.isEvicted(id) {
 			writeError(w, &apiError{Status: http.StatusGone, Code: codeGone,
 				Message: fmt.Sprintf("sweep %q was evicted by the retention cap (-max-jobs)", id)})
@@ -696,6 +831,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		evictions:     s.store.evictionCount(),
 		jobEpochs:     s.store.runningEpochs(),
 		ready:         !s.draining.Load(),
+
+		tenantQueue:    s.queue.tenantDepths(),
+		tenantInflight: make(map[string]int64, len(s.tenants)),
+		retryHint:      s.retryAfterHint(s.queue.depth()).Seconds(),
+	}
+	for name, ts := range s.tenants {
+		g.tenantInflight[name] = ts.inflight.Load()
 	}
 	if s.persistStore != nil {
 		g.store = s.persistStore.Stats()

@@ -701,6 +701,7 @@ func TestJobJSONShape(t *testing.T) {
 	j := newJob(
 		[]hybridtlb.SimulationConfig{{Scheme: "anchor", Workload: "gups", Scenario: "demand"}},
 		[]SimulateRequest{{Scheme: "anchor", Workload: "gups", Scenario: "demand"}},
+		"default", PriorityBatch,
 	)
 	j.finish([]hybridtlb.SweepResult{{SimulationResult: hybridtlb.SimulationResult{Scheme: "anchor"}, Cached: true}}, nil)
 	data, err := json.Marshal(j.snapshot(true))

@@ -1,0 +1,76 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket with caller-supplied time: refill is
+// computed from the `now` each call passes in, so the package never
+// reads a clock and tests drive admission decisions deterministically.
+// The zero rate means "unlimited" — Allow always admits.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a bucket filled to capacity. A rate of 0 disables
+// limiting; burst < 1 is raised to 1 so a configured limiter always
+// admits a lone request.
+func NewBucket(rate, burst float64) *Bucket {
+	if rate > 0 && burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refillLocked advances the bucket to now.
+func (b *Bucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+}
+
+// Allow spends one token if available, reporting whether the request
+// is admitted.
+func (b *Bucket) Allow(now time.Time) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter reports how long after now the next token matures — the
+// honest backoff hint for a request the bucket just refused. Zero
+// means a token is already available.
+func (b *Bucket) RetryAfter(now time.Time) time.Duration {
+	if b == nil || b.rate <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	missing := 1 - b.tokens
+	return time.Duration(missing / b.rate * float64(time.Second))
+}

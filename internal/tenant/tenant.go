@@ -1,0 +1,164 @@
+// Package tenant is the server's multi-tenancy model: a static keyfile
+// of named tenants (API key, fair-share weight, rate limit, in-flight
+// quota) loaded at startup, and the clock-free token bucket that
+// enforces each tenant's request rate.
+//
+// The keyfile being static is a deliberate cardinality contract: every
+// tenant name a server will ever emit as a metric label is known at
+// startup, so per-tenant time series stay bounded by the reviewed file
+// rather than by traffic. Authentication rejects unknown keys before
+// any labeled counter is touched.
+//
+// The package never reads the wall clock — callers pass `now` into the
+// bucket — so it sits inside tlbvet's determinism scope and its tests
+// run without sleeps.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// nameRe bounds tenant names to label-safe identifiers: they are
+// emitted verbatim as Prometheus label values and logged everywhere.
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_-]{0,63}$`)
+
+// DefaultName labels traffic on servers running without a keyfile:
+// every caller is the same implicit tenant with default weight and no
+// limits — exactly the pre-tenancy behavior.
+const DefaultName = "default"
+
+// Tenant is one keyfile entry.
+type Tenant struct {
+	// Name identifies the tenant in logs, metrics and scheduling. It
+	// must match ^[a-zA-Z0-9][a-zA-Z0-9_-]{0,63}$ (it becomes a metric
+	// label value).
+	Name string `json:"name"`
+	// Key is the bearer token presented as `Authorization: Bearer
+	// <key>`. Keys are opaque and must be unique across the file.
+	Key string `json:"key"`
+	// Weight is the tenant's fair-share weight in the job scheduler
+	// (default 1). A tenant with weight 3 drains three cells of queued
+	// work for every one cell of a weight-1 tenant under contention.
+	Weight int `json:"weight,omitempty"`
+	// RatePerSec refills the tenant's token bucket; each admitted API
+	// request costs one token. Zero: no rate limit.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (default: max(RatePerSec, 1)).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxInFlight caps the tenant's concurrently admitted work —
+	// queued or running sweep jobs plus in-flight synchronous
+	// simulations. Zero: unlimited.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// withDefaults normalizes optional fields.
+func (t Tenant) withDefaults() Tenant {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Burst <= 0 {
+		t.Burst = t.RatePerSec
+		if t.Burst < 1 {
+			t.Burst = 1
+		}
+	}
+	return t
+}
+
+// keyfile is the on-disk document shape.
+type keyfile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// Registry is an immutable, validated set of tenants indexed by API
+// key. Build one with Load or Parse.
+type Registry struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	names  []string // sorted, for deterministic iteration
+}
+
+// Load reads and validates a keyfile from disk.
+func Load(path string) (*Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: open keyfile: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read-only file
+	reg, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: keyfile %s: %w", path, err)
+	}
+	return reg, nil
+}
+
+// Parse validates a keyfile document: at least one tenant, names
+// label-safe and unique, keys non-empty and unique, scalars sane.
+func Parse(r io.Reader) (*Registry, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var kf keyfile
+	if err := dec.Decode(&kf); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	if len(kf.Tenants) == 0 {
+		return nil, fmt.Errorf("keyfile declares no tenants")
+	}
+	reg := &Registry{
+		byKey:  make(map[string]*Tenant, len(kf.Tenants)),
+		byName: make(map[string]*Tenant, len(kf.Tenants)),
+	}
+	for i, t := range kf.Tenants {
+		if !nameRe.MatchString(t.Name) {
+			return nil, fmt.Errorf("tenant %d: name %q must match %s", i, t.Name, nameRe)
+		}
+		if strings.TrimSpace(t.Key) == "" {
+			return nil, fmt.Errorf("tenant %q: key must be non-empty", t.Name)
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("tenant %q: weight %d must be >= 0", t.Name, t.Weight)
+		}
+		if t.RatePerSec < 0 || t.Burst < 0 || t.MaxInFlight < 0 {
+			return nil, fmt.Errorf("tenant %q: rate, burst and max_in_flight must be >= 0", t.Name)
+		}
+		if _, dup := reg.byName[t.Name]; dup {
+			return nil, fmt.Errorf("tenant name %q declared twice", t.Name)
+		}
+		if _, dup := reg.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("tenant %q: key already assigned to another tenant", t.Name)
+		}
+		tt := t.withDefaults()
+		reg.byName[tt.Name] = &tt
+		reg.byKey[tt.Key] = &tt
+		reg.names = append(reg.names, tt.Name)
+	}
+	sort.Strings(reg.names)
+	return reg, nil
+}
+
+// Authenticate resolves a bearer key to its tenant.
+func (r *Registry) Authenticate(key string) (*Tenant, bool) {
+	t, ok := r.byKey[key]
+	return t, ok
+}
+
+// Get resolves a tenant by name.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Names returns every tenant name in sorted order — the bounded label
+// set per-tenant metrics iterate.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Len returns the number of tenants.
+func (r *Registry) Len() int { return len(r.names) }

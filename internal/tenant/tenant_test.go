@@ -1,0 +1,127 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleKeyfile = `{
+  "tenants": [
+    {"name": "light", "key": "tlb_light", "weight": 3, "rate_per_sec": 100, "burst": 50, "max_in_flight": 4},
+    {"name": "heavy", "key": "tlb_heavy", "weight": 1, "rate_per_sec": 25, "max_in_flight": 1},
+    {"name": "free-rider_2", "key": "tlb_free"}
+  ]
+}`
+
+func TestParseKeyfile(t *testing.T) {
+	reg, err := Parse(strings.NewReader(sampleKeyfile))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := reg.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if names := reg.Names(); names[0] != "free-rider_2" || names[1] != "heavy" || names[2] != "light" {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+
+	light, ok := reg.Authenticate("tlb_light")
+	if !ok || light.Name != "light" {
+		t.Fatalf("Authenticate(tlb_light) = %+v, %v", light, ok)
+	}
+	if light.Weight != 3 || light.RatePerSec != 100 || light.Burst != 50 || light.MaxInFlight != 4 {
+		t.Fatalf("light fields not preserved: %+v", light)
+	}
+
+	// Defaults: weight 1, burst max(rate,1).
+	heavy, _ := reg.Get("heavy")
+	if heavy.Weight != 1 || heavy.Burst != 25 {
+		t.Fatalf("heavy defaults wrong: %+v", heavy)
+	}
+	free, _ := reg.Get("free-rider_2")
+	if free.Weight != 1 || free.Burst != 1 || free.RatePerSec != 0 {
+		t.Fatalf("free-rider defaults wrong: %+v", free)
+	}
+
+	if _, ok := reg.Authenticate("bogus"); ok {
+		t.Fatal("unknown key authenticated")
+	}
+}
+
+func TestParseKeyfileRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":         `{"tenants": []}`,
+		"bad name":      `{"tenants": [{"name": "no spaces", "key": "k"}]}`,
+		"label unsafe":  `{"tenants": [{"name": "a{b}", "key": "k"}]}`,
+		"empty key":     `{"tenants": [{"name": "a", "key": "  "}]}`,
+		"dup name":      `{"tenants": [{"name": "a", "key": "k1"}, {"name": "a", "key": "k2"}]}`,
+		"dup key":       `{"tenants": [{"name": "a", "key": "k"}, {"name": "b", "key": "k"}]}`,
+		"negative rate": `{"tenants": [{"name": "a", "key": "k", "rate_per_sec": -1}]}`,
+		"unknown field": `{"tenants": [{"name": "a", "key": "k", "quota": 9}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Parse accepted %s", label, doc)
+		}
+	}
+}
+
+func TestBucketAdmission(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewBucket(10, 2) // 10 tokens/s, burst 2
+
+	if !b.Allow(t0) || !b.Allow(t0) {
+		t.Fatal("burst of 2 should admit two immediate requests")
+	}
+	if b.Allow(t0) {
+		t.Fatal("third immediate request should be refused")
+	}
+	// 100ms matures exactly one token at 10/s.
+	if ra := b.RetryAfter(t0); ra != 100*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 100ms", ra)
+	}
+	if !b.Allow(t0.Add(100 * time.Millisecond)) {
+		t.Fatal("one token should have matured after 100ms")
+	}
+	if b.Allow(t0.Add(100 * time.Millisecond)) {
+		t.Fatal("only one token matured")
+	}
+	// A long idle period refills to burst, never beyond.
+	t1 := t0.Add(time.Hour)
+	if !b.Allow(t1) || !b.Allow(t1) {
+		t.Fatal("idle bucket should refill to burst")
+	}
+	if b.Allow(t1) {
+		t.Fatal("refill must cap at burst")
+	}
+}
+
+func TestBucketUnlimitedAndClockSkew(t *testing.T) {
+	var nilBucket *Bucket
+	if !nilBucket.Allow(time.Unix(0, 0)) || nilBucket.RetryAfter(time.Unix(0, 0)) != 0 {
+		t.Fatal("nil bucket must admit everything")
+	}
+	b := NewBucket(0, 0)
+	for i := 0; i < 100; i++ {
+		if !b.Allow(time.Unix(0, 0)) {
+			t.Fatal("zero-rate bucket must admit everything")
+		}
+	}
+	// Time moving backwards must not mint tokens.
+	t0 := time.Unix(1000, 0)
+	lim := NewBucket(1, 1)
+	if !lim.Allow(t0) {
+		t.Fatal("first request admitted")
+	}
+	if lim.Allow(t0.Add(-time.Hour)) {
+		t.Fatal("backwards clock minted a token")
+	}
+}
+
+func TestBucketBurstFloor(t *testing.T) {
+	b := NewBucket(5, 0.2)
+	if !b.Allow(time.Unix(0, 0)) {
+		t.Fatal("burst floor of 1 should admit a lone request")
+	}
+}
