@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fabric-test load-smoke bench bench-json experiments serve lint tools allocgate
+.PHONY: check vet build test race fabric-test load-smoke bench bench-json bench-baseline experiments serve lint tools allocgate
 
 check: vet build lint allocgate race fabric-test load-smoke
 
@@ -53,14 +53,22 @@ load-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# bench-json runs the translation hot-path benchmark (serial vs batched
-# per scheme) and emits it as the BENCH_pipeline.json artifact:
-# ns/access, allocs/access, and iteration counts. Override BENCHTIME
-# (e.g. BENCHTIME=1000x) for a quick smoke run.
+# bench-json runs the translation hot-path benchmark (serial, batched
+# and sharded per scheme) and emits it as the BENCH_pipeline.json
+# artifact: ns/access, allocs/access, and iteration counts. Override
+# BENCHTIME (e.g. BENCHTIME=1000x) for a quick smoke run; 262144x makes
+# the sharded whole-run accounting exact (one run per measurement).
 BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run xxx -bench BenchmarkTranslateHotPath -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pipeline.json
+
+# bench-baseline reruns the hot-path benchmark and fails if any
+# (scheme, variant) cell regressed more than 10% in ns/access against
+# the committed BENCH_pipeline.json. Writes nothing; CI's perf gate.
+bench-baseline:
+	$(GO) test -run xxx -bench BenchmarkTranslateHotPath -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out "" -baseline BENCH_pipeline.json
 
 # Full evaluation tables/figures (cmd/experiments at default scale).
 experiments:

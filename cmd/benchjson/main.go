@@ -25,9 +25,13 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_pipeline.json", "output artifact path")
+	out := flag.String("out", "BENCH_pipeline.json", "output artifact path (empty: compare/check only, write nothing)")
 	requireZeroAllocs := flag.Bool("require-zero-allocs", true,
 		"fail if any scheme's batched hot-path variant reports allocs or bytes per access")
+	baseline := flag.String("baseline", "",
+		"committed artifact to compare against; fail on ns/access regressions beyond -baseline-tolerance")
+	tolerance := flag.Float64("baseline-tolerance", 0.10,
+		"fractional ns/access slack over the baseline before a cell counts as regressed")
 	flag.Parse()
 
 	entries, err := benchparse.Parse(os.Stdin)
@@ -46,14 +50,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base benchparse.PipelineReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		if err := benchparse.CompareBaseline(rep, base, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: within %.0f%% of baseline %s\n", 100**tolerance, *baseline)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 
 	schemes := make([]string, 0, len(rep.Schemes))
@@ -67,8 +90,14 @@ func main() {
 		if batched.NsPerAccess > 0 {
 			speedup = serial.NsPerAccess / batched.NsPerAccess
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-12s serial %8.1f ns  batched %8.1f ns  (%.2fx, %d allocs/access)\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %-12s serial %8.1f ns  batched %8.1f ns  (%.2fx, %d allocs/access)",
 			s, serial.NsPerAccess, batched.NsPerAccess, speedup, batched.AllocsPerAccess)
+		if sharded, ok := rep.Schemes[s]["sharded"]; ok {
+			fmt.Fprintf(os.Stderr, "  sharded %8.1f ns", sharded.NsPerAccess)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d schemes)\n", *out, len(schemes))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d schemes)\n", *out, len(schemes))
+	}
 }

@@ -34,7 +34,8 @@ func main() {
 		static    = flag.Bool("static-ideal", false, "exhaustively search all anchor distances and report the best")
 		costModel = flag.String("cost-model", "", "distance selection cost model: entry-count (default), coverage-weighted, capacity-aware")
 		regions   = flag.Bool("multi-region", false, "per-region anchor distances (Section 4.2 extension)")
-		tracePath   = flag.String("trace", "", "replay a recorded trace file (see tracegen) instead of generating accesses")
+		tracePath   = flag.String("trace", "", "replay a recorded trace file (see tracegen; format auto-detected) instead of generating accesses")
+		shards      = flag.Int("shards", 0, "split the run across N parallel shard simulators (byte-identical results; 0/1: serial)")
 		epochs      = flag.Bool("epochs", false, "print one line per epoch boundary to stderr (cumulative stats, anchor distance)")
 		epochInstrs = flag.Uint64("epoch-instrs", 0, "epoch length in instructions (0: the paper's 10,000,000)")
 		showVersion = flag.Bool("version", false, "print the build identity and exit")
@@ -59,6 +60,7 @@ func main() {
 		MultiRegionAnchors:  *regions,
 		TracePath:           *tracePath,
 		EpochInstructions:   *epochInstrs,
+		Shards:              *shards,
 	}
 	if *epochs {
 		cfg.Probe = func(s hybridtlb.EpochSample) {

@@ -27,7 +27,8 @@ func main() {
 		seed      = flag.Int64("seed", 42, "random seed")
 		base      = flag.Uint64("base", 0x10000, "first virtual page of the footprint")
 		out       = flag.String("o", "", "output trace file (default: stdout summary only)")
-		summarize = flag.String("summarize", "", "read a trace file back and summarize it")
+		format    = flag.String("format", "varint", "output format: varint (compact delta stream) or bin (fixed-width records, mmap-able for zero-copy replay)")
+		summarize = flag.String("summarize", "", "read a trace file back and summarize it (format auto-detected)")
 		reuse     = flag.Bool("reuse", false, "include the page reuse-distance histogram in summaries")
 	)
 	flag.Parse()
@@ -56,58 +57,92 @@ func main() {
 		describe(os.Stdout, spec.Name, gen)
 		return
 	}
-	f, err := os.Create(*out)
+	count, size, err := writeTrace(*out, *format, gen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	w, err := trace.NewWriter(f)
+	fmt.Printf("wrote %d records (%d bytes, %.2f B/record) to %s\n",
+		count, size, float64(size)/float64(count), *out)
+}
+
+// traceWriter is what both encoders expose to the record loop.
+type traceWriter interface {
+	Write(trace.Record) error
+	Count() uint64
+}
+
+// writeTrace encodes the source to path in the chosen format and returns
+// the record count and file size.
+func writeTrace(path, format string, src trace.Source) (uint64, int64, error) {
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return 0, 0, err
+	}
+	var w traceWriter
+	var finish func() error
+	switch format {
+	case "varint":
+		vw, err := trace.NewWriter(f)
+		if err != nil {
+			_ = f.Close() // the writer error is the failure being reported
+			return 0, 0, err
+		}
+		w, finish = vw, vw.Flush
+	case "bin":
+		// BinWriter.Close seeks back to patch the record count into the
+		// header, which works here because f is a real file.
+		bw, err := trace.NewBinWriter(f)
+		if err != nil {
+			_ = f.Close() // the writer error is the failure being reported
+			return 0, 0, err
+		}
+		w, finish = bw, bw.Close
+	default:
+		_ = f.Close() // nothing was written
+		return 0, 0, fmt.Errorf("unknown trace format %q (varint or bin)", format)
 	}
 	for {
-		rec, ok := gen.Next()
+		rec, ok := src.Next()
 		if !ok {
 			break
 		}
 		if err := w.Write(rec); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			_ = f.Close() // the write error is the failure being reported
+			return 0, 0, err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	if err := finish(); err != nil {
+		_ = f.Close() // the flush error is the failure being reported
+		return 0, 0, err
 	}
 	info, _ := f.Stat()
 	// Close before reporting success: a full disk surfaces here, not as
 	// a silently truncated trace.
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return 0, 0, err
 	}
-	fmt.Printf("wrote %d records (%d bytes, %.2f B/record) to %s\n",
-		w.Count(), info.Size(), float64(info.Size())/float64(w.Count()), *out)
+	return w.Count(), info.Size(), nil
 }
 
 func summary(path string, reuse bool) error {
-	f, err := os.Open(path)
+	// OpenPath detects the format by magic, so summaries work on both
+	// varint and fixed-width binary traces.
+	src, closeSrc, err := trace.OpenPath(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return err
-	}
+	defer closeSrc()
 	if reuse {
 		fmt.Printf("trace         %s\n", path)
-		trace.Analyze(r).Print(os.Stdout)
+		trace.Analyze(src).Print(os.Stdout)
 	} else {
-		describe(os.Stdout, path, r)
+		describe(os.Stdout, path, src)
 	}
-	return r.Err()
+	if e, ok := src.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
 }
 
 // describe drains a source and prints aggregate statistics.

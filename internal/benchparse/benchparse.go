@@ -140,6 +140,52 @@ func Pipeline(entries []Entry) (PipelineReport, error) {
 	return rep, nil
 }
 
+// CompareBaseline holds a fresh pipeline report against a committed
+// baseline artifact: any (scheme, variant) cell present in both whose
+// fresh ns/access exceeds the baseline's by more than tolerance
+// (fractional — 0.10 means +10%) is a regression. Cells present on only
+// one side are ignored (schemes and variants come and go across PRs),
+// but zero overlapping cells is an error: it means the comparison
+// checked nothing. All regressions are reported at once, in sorted
+// order, so a run that slows several schemes names them all.
+func CompareBaseline(fresh, baseline PipelineReport, tolerance float64) error {
+	type cell struct{ scheme, variant string }
+	var cells []cell
+	for scheme, variants := range baseline.Schemes {
+		for variant := range variants {
+			if _, ok := fresh.Schemes[scheme][variant]; ok {
+				cells = append(cells, cell{scheme, variant})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("benchparse: baseline and fresh report share no (scheme, variant) cells; nothing was compared")
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].scheme != cells[j].scheme {
+			return cells[i].scheme < cells[j].scheme
+		}
+		return cells[i].variant < cells[j].variant
+	})
+	var regressions []string
+	for _, c := range cells {
+		base := baseline.Schemes[c.scheme][c.variant]
+		got := fresh.Schemes[c.scheme][c.variant]
+		if base.NsPerAccess <= 0 {
+			continue
+		}
+		if got.NsPerAccess > base.NsPerAccess*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf("%s/%s: %.1f ns/access vs baseline %.1f (+%.1f%%, tolerance %.0f%%)",
+				c.scheme, c.variant, got.NsPerAccess, base.NsPerAccess,
+				100*(got.NsPerAccess/base.NsPerAccess-1), 100*tolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchparse: ns/access regressions over baseline:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
 // RequireZeroAllocs fails if any scheme's named variant reports heap
 // allocations. It is the runtime half of the hot-path allocation proof:
 // tlbvet's allocfree pass and cmd/allocgate show the //tlbvet:hotpath

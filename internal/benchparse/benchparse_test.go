@@ -135,3 +135,66 @@ func TestRequireZeroAllocs(t *testing.T) {
 		t.Error("scheme without a batched variant passed the zero-alloc gate")
 	}
 }
+
+func baselineReport(ns map[string]float64) PipelineReport {
+	rep := PipelineReport{Benchmark: pipelineBench, Unit: "access",
+		Schemes: map[string]map[string]Variant{}}
+	for cell, v := range ns {
+		scheme, variant, _ := strings.Cut(cell, "/")
+		if rep.Schemes[scheme] == nil {
+			rep.Schemes[scheme] = map[string]Variant{}
+		}
+		rep.Schemes[scheme][variant] = Variant{NsPerAccess: v}
+	}
+	return rep
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := baselineReport(map[string]float64{
+		"base/batched": 100, "anchor/batched": 110, "anchor/sharded": 130})
+
+	// Within tolerance: small slowdowns and any speedup pass.
+	fresh := baselineReport(map[string]float64{
+		"base/batched": 108, "anchor/batched": 90, "anchor/sharded": 130})
+	if err := CompareBaseline(fresh, base, 0.10); err != nil {
+		t.Errorf("within-tolerance report failed: %v", err)
+	}
+
+	// One cell regressed beyond 10%: the error must name it.
+	fresh = baselineReport(map[string]float64{
+		"base/batched": 125, "anchor/batched": 100, "anchor/sharded": 130})
+	err := CompareBaseline(fresh, base, 0.10)
+	if err == nil {
+		t.Fatal("25% regression passed the baseline gate")
+	}
+	if !strings.Contains(err.Error(), "base/batched") {
+		t.Errorf("regression error does not name the cell: %v", err)
+	}
+
+	// Cells only in one report are ignored, not regressions.
+	fresh = baselineReport(map[string]float64{
+		"base/batched": 100, "colt/batched": 9999})
+	if err := CompareBaseline(fresh, base, 0.10); err != nil {
+		t.Errorf("extra fresh-only cell failed the gate: %v", err)
+	}
+
+	// No overlap at all must error: the gate compared nothing.
+	fresh = baselineReport(map[string]float64{"rmm/serial": 50})
+	if err := CompareBaseline(fresh, base, 0.10); err == nil {
+		t.Error("disjoint reports compared as passing")
+	}
+
+	// A JSON round-trip of the artifact stays comparable (the committed
+	// baseline is read back through encoding/json).
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded PipelineReport
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareBaseline(base, loaded, 0); err != nil {
+		t.Errorf("report differs from its own JSON round-trip: %v", err)
+	}
+}

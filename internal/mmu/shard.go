@@ -1,0 +1,162 @@
+package mmu
+
+import (
+	"hybridtlb/internal/osmem"
+)
+
+// ShardState is implemented by MMU schemes that support shard-parallel
+// replay: deep-cloning the full translation state onto a private process
+// copy, and serializing the behaviour-relevant state canonically so the
+// shard engine's fixpoint can compare simulator states for equivalence.
+//
+// All schemes implement it except when a shared detailed walk model is
+// configured (Config.Walk carries mutable cross-access cache state); the
+// sim layer falls back to the single-goroutine drive in that case.
+type ShardState interface {
+	MMU
+	// CloneFor returns a deep copy of the MMU bound to proc (normally a
+	// Process.Clone of the original), with flush/invalidate hooks
+	// re-registered on it, mirroring what New does.
+	CloneFor(proc *osmem.Process) MMU
+	// AppendCanonical appends the canonical translation state (TLB
+	// contents in canonical form; accumulated stats excluded — they are
+	// outputs, not behavioural inputs).
+	AppendCanonical(dst []byte) []byte
+}
+
+// Shardable reports whether m supports shard-parallel replay under the
+// given config.
+func Shardable(m MMU, cfg Config) bool {
+	_, ok := m.(ShardState)
+	return ok && cfg.Walk == nil
+}
+
+func hookUp(m MMU, proc *osmem.Process) MMU {
+	proc.OnFlush(m.Flush)
+	proc.OnInvalidate(m.Invalidate)
+	return m
+}
+
+func (l l1) clone() l1 {
+	return l1{tlb4K: l.tlb4K.Clone(), tlb2M: l.tlb2M.Clone()}
+}
+
+func (l l1) appendCanonical(dst []byte) []byte {
+	dst = l.tlb4K.AppendCanonical(dst)
+	return l.tlb2M.AppendCanonical(dst)
+}
+
+func (m *standardMMU) CloneFor(proc *osmem.Process) MMU {
+	c := &standardMMU{
+		scheme: m.scheme,
+		cfg:    m.cfg,
+		proc:   proc,
+		l1:     m.l1.clone(),
+		l2:     m.l2.Clone(),
+		stats:  m.stats,
+	}
+	return hookUp(c, proc)
+}
+
+func (m *standardMMU) AppendCanonical(dst []byte) []byte {
+	dst = m.l1.appendCanonical(dst)
+	return m.l2.AppendCanonical(dst)
+}
+
+func (m *anchorMMU) CloneFor(proc *osmem.Process) MMU {
+	c := &anchorMMU{
+		cfg:     m.cfg,
+		proc:    proc,
+		l1:      m.l1.clone(),
+		l2:      m.l2.Clone(),
+		stats:   m.stats,
+		actions: m.actions,
+	}
+	return hookUp(c, proc)
+}
+
+func (m *anchorMMU) AppendCanonical(dst []byte) []byte {
+	dst = m.l1.appendCanonical(dst)
+	return m.l2.AppendCanonical(dst)
+}
+
+func (m *clusterMMU) CloneFor(proc *osmem.Process) MMU {
+	c := &clusterMMU{
+		scheme:  m.scheme,
+		cfg:     m.cfg,
+		proc:    proc,
+		l1:      m.l1.clone(),
+		regular: m.regular.Clone(),
+		cluster: m.cluster.Clone(),
+		stats:   m.stats,
+	}
+	return hookUp(c, proc)
+}
+
+func (m *clusterMMU) AppendCanonical(dst []byte) []byte {
+	dst = m.l1.appendCanonical(dst)
+	dst = m.regular.AppendCanonical(dst)
+	return m.cluster.AppendCanonical(dst)
+}
+
+func (m *coltMMU) CloneFor(proc *osmem.Process) MMU {
+	c := &coltMMU{
+		cfg:   m.cfg,
+		proc:  proc,
+		l1:    m.l1.clone(),
+		l2:    m.l2.Clone(),
+		stats: m.stats,
+	}
+	return hookUp(c, proc)
+}
+
+func (m *coltMMU) AppendCanonical(dst []byte) []byte {
+	dst = m.l1.appendCanonical(dst)
+	return m.l2.AppendCanonical(dst)
+}
+
+func (m *coltfaMMU) CloneFor(proc *osmem.Process) MMU {
+	c := &coltfaMMU{
+		cfg:   m.cfg,
+		proc:  proc,
+		l1:    m.l1.clone(),
+		l2:    m.l2.Clone(),
+		runs:  m.runs.Clone(),
+		stats: m.stats,
+	}
+	return hookUp(c, proc)
+}
+
+func (m *coltfaMMU) AppendCanonical(dst []byte) []byte {
+	dst = m.l1.appendCanonical(dst)
+	dst = m.l2.AppendCanonical(dst)
+	return m.runs.AppendCanonical(dst)
+}
+
+func (m *rmmMMU) CloneFor(proc *osmem.Process) MMU {
+	c := &rmmMMU{
+		cfg:    m.cfg,
+		proc:   proc,
+		l1:     m.l1.clone(),
+		l2:     m.l2.Clone(),
+		ranges: m.ranges.Clone(),
+		stats:  m.stats,
+	}
+	return hookUp(c, proc)
+}
+
+func (m *rmmMMU) AppendCanonical(dst []byte) []byte {
+	dst = m.l1.appendCanonical(dst)
+	dst = m.l2.AppendCanonical(dst)
+	return m.ranges.AppendCanonical(dst)
+}
+
+// actionCounts exposes the anchor action counters as raw deltas for the
+// shard merge (Actions() builds the user-facing map).
+func (m *anchorMMU) ActionCounts() [5]uint64 { return m.actions }
+
+// ActionCounter is implemented by schemes with per-action accounting that
+// the shard merge must recombine (anchor's Table 2 rows).
+type ActionCounter interface {
+	ActionCounts() [5]uint64
+}

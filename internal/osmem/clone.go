@@ -1,0 +1,68 @@
+package osmem
+
+import (
+	"encoding/binary"
+
+	"hybridtlb/internal/mem"
+)
+
+// Shard-replay support for Process: deep clones so per-shard simulators
+// own private OS state, canonical serialization of the behaviour-relevant
+// part of that state, and post-merge adoption of replay-computed counters
+// back into the original process.
+
+// Clone returns a deep copy of the process suitable for an independent
+// shard simulator: the page table and huge-page map are deep-copied (the
+// MMU walk path mutates table stats, and sweeps rewrite anchor entries),
+// while the immutable chunk list, region table, and protection ranges are
+// shared by value. Flush/invalidate hooks are NOT copied — the clone's
+// MMU registers its own.
+func (p *Process) Clone() *Process {
+	huge := make(map[mem.VPN]mem.PFN, len(p.huge))
+	for k, v := range p.huge {
+		huge[k] = v
+	}
+	return &Process{
+		pt:              p.pt.Clone(),
+		chunks:          p.chunks,
+		policy:          p.policy,
+		dist:            p.dist,
+		huge:            huge,
+		regions:         append([]Region(nil), p.regions...),
+		prots:           append([]protRange(nil), p.prots...),
+		entryShootdowns: p.entryShootdowns,
+		fullFlushes:     p.fullFlushes,
+		distanceChanges: p.distanceChanges,
+	}
+}
+
+// AppendCanonical appends the behaviour-relevant OS-side state to dst:
+// the current anchor distance (single or per region). Everything else a
+// drive can observe through the process — chunk list, page table
+// contents, huge map, protections — is a pure function of the immutable
+// layout and the current distance(s), because distance changes re-sweep
+// every anchor of the active alignment and the layout never mutates
+// mid-drive (churn runs through a separate serial driver). Shootdown and
+// flush counters are outputs, not behavioural inputs, so they are
+// deliberately excluded.
+func (p *Process) AppendCanonical(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, p.dist)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(p.regions)))
+	for _, r := range p.regions {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Start))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.End))
+		dst = binary.LittleEndian.AppendUint64(dst, r.Distance)
+	}
+	return dst
+}
+
+// AdoptReplayState force-restores the distance and the event counters
+// after a shard replay computed their true end-of-run values externally.
+// No sweeps or flushes run: the caller asserts this state was reached by
+// an exact replay of the same access stream.
+func (p *Process) AdoptReplayState(dist, distanceChanges, fullFlushes, entryShootdowns uint64) {
+	p.dist = dist
+	p.distanceChanges = distanceChanges
+	p.fullFlushes = fullFlushes
+	p.entryShootdowns = entryShootdowns
+}

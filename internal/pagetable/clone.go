@@ -1,0 +1,20 @@
+package pagetable
+
+// Clone returns a deep copy of the table sharing no nodes with t. Shard
+// simulators each walk a private copy: Walk/WalkFast bump the stats
+// counters, so sharing one table across goroutines would race even though
+// translations themselves are reads. Node phys addresses are preserved so
+// the detailed walk model sees identical cache lines from a clone.
+func (t *Table) Clone() *Table {
+	return &Table{root: cloneNode(t.root), stats: t.stats}
+}
+
+func cloneNode(n *node) *node {
+	c := &node{pte: n.pte, phys: n.phys}
+	for i, ch := range n.child {
+		if ch != nil {
+			c.child[i] = cloneNode(ch)
+		}
+	}
+	return c
+}

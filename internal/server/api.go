@@ -95,6 +95,10 @@ type SimulateRequest struct {
 	FixedAnchorDistance uint64  `json:"fixed_anchor_distance,omitempty"`
 	CostModel           string  `json:"cost_model,omitempty"`
 	MultiRegionAnchors  bool    `json:"multi_region_anchors,omitempty"`
+	// Shards > 1 runs the simulation on the shard-parallel engine.
+	// Results are byte-identical to a serial run, so sharding never
+	// affects what a sweep cell reports — only how it is computed.
+	Shards int `json:"shards,omitempty"`
 	// StaticIdeal runs the exhaustive per-distance search instead of one
 	// simulation (simulate endpoint only; ignored in sweeps).
 	StaticIdeal bool `json:"static_ideal,omitempty"`
@@ -131,6 +135,9 @@ func (req SimulateRequest) validate(lim Limits) *apiError {
 	if lim.MaxAccesses > 0 && req.Accesses > lim.MaxAccesses {
 		return invalidField("accesses", "accesses %d exceeds the server limit %d", req.Accesses, lim.MaxAccesses)
 	}
+	if req.Shards < 0 {
+		return invalidField("shards", "shards %d is negative", req.Shards)
+	}
 	return nil
 }
 
@@ -146,6 +153,7 @@ func (req SimulateRequest) toConfig() hybridtlb.SimulationConfig {
 		FixedAnchorDistance: req.FixedAnchorDistance,
 		CostModel:           req.CostModel,
 		MultiRegionAnchors:  req.MultiRegionAnchors,
+		Shards:              req.Shards,
 	}
 }
 
@@ -167,6 +175,9 @@ type SweepRequest struct {
 	FootprintPages     uint64 `json:"footprint_pages,omitempty"`
 	CostModel          string `json:"cost_model,omitempty"`
 	MultiRegionAnchors bool   `json:"multi_region_anchors,omitempty"`
+	// Shards applies the shard-parallel engine to every cell; results
+	// are byte-identical to serial, so it never splits cache cells.
+	Shards int `json:"shards,omitempty"`
 
 	// Priority picks the lane within the submitting tenant's fair-share
 	// queue: "interactive" overtakes the tenant's own "batch" backlog
@@ -229,6 +240,7 @@ func (req SweepRequest) expand(lim Limits) ([]hybridtlb.SimulationConfig, []Simu
 								FixedAnchorDistance: dist,
 								CostModel:           req.CostModel,
 								MultiRegionAnchors:  req.MultiRegionAnchors,
+								Shards:              req.Shards,
 							}
 							if err := cell.validate(lim); err != nil {
 								return nil, nil, err

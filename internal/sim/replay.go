@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"hybridtlb/internal/core"
 	"hybridtlb/internal/mapping"
 	"hybridtlb/internal/mmu"
 	"hybridtlb/internal/osmem"
@@ -16,7 +17,7 @@ import (
 // default; Accesses and WarmupAccesses bound and split the replay
 // (Accesses 0 replays everything after warmup).
 func RunTrace(cfg Config, src trace.Source) (Result, error) {
-	return runTrace(cfg, src, drive)
+	return runTrace(cfg, src, driveFor(cfg))
 }
 
 func runTrace(cfg Config, src trace.Source, driveFn driveFunc) (Result, error) {
@@ -57,5 +58,10 @@ func runTrace(cfg Config, src trace.Source, driveFn driveFunc) (Result, error) {
 	res.HugePages = proc.HugePages()
 	res.AnchorDistance = proc.AnchorDistance()
 	res.DistanceChanges = proc.DistanceChanges()
+	if am, ok := m.(interface {
+		Actions() map[core.L2Action]uint64
+	}); ok && res.AnchorActions == nil {
+		res.AnchorActions = am.Actions()
+	}
 	return res, nil
 }

@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"hybridtlb/internal/core"
+	"hybridtlb/internal/mem"
+	"hybridtlb/internal/mmu"
+	"hybridtlb/internal/osmem"
+	"hybridtlb/internal/trace"
+)
+
+// Shard-parallel drive: the trace is split into K epoch-aligned segments
+// and replayed by K simulators in parallel, with results byte-identical
+// to the serial drive. Byte-identity needs every segment to start from
+// the exact simulator state the serial run would have reached at its cut,
+// which is unknowable before the predecessor finishes — so the engine
+// runs a fixpoint: round 1 starts every segment from a clone of the
+// installed (post-warmboot) state, and each later round re-runs exactly
+// the segments whose entering state changed, seeded with their
+// predecessor's latest end state. Iteration stops when every segment's
+// entering state matches its predecessor's end state, which by induction
+// from segment 0 (whose entering state is exact by construction) makes
+// every segment's replay exact.
+//
+// Two properties make the fixpoint converge in ~2 rounds instead of K:
+//
+//   - Canonical state comparison. States are compared through
+//     AppendCanonical serializations that erase the LRU clock and (for
+//     set-associative TLBs) way placement, so two simulators that have
+//     self-synchronized — same contents, same recency — compare equal
+//     even though their raw representations never will.
+//   - Early merge. Each run records the canonical state at fixed interval
+//     boundaries inside its segment. A re-run compares its state against
+//     the previous run's recording at each boundary and, on a match,
+//     splices the previous run's remaining per-interval outputs instead
+//     of re-simulating them — so a re-run costs roughly the TLB
+//     self-synchronization distance, not the whole segment.
+//
+// All accounting (stats, anchor actions, OS counters, probe samples) is
+// recorded as per-interval deltas and recombined by an ordered merge, so
+// the final Result and the probe sample stream are bit-for-bit those of
+// the serial drive, delivered in epoch order regardless of shard
+// completion order.
+
+// maxShards caps the segment count; beyond this, per-segment state
+// overhead dominates any conceivable parallel win.
+const maxShards = 64
+
+// shardSample is one probe observation, recorded as deltas against its
+// interval's entry state so spliced intervals replay it unchanged.
+type shardSample struct {
+	bound int       // global record index of the epoch boundary
+	ord   int       // global boundary ordinal (1-based) — the sample's Epoch
+	stats mmu.Stats // delta from interval start
+	dist  uint64    // anchor distance when the sample fired
+}
+
+// shardInterval is the unit of recorded work: all simulator outputs over
+// one slice of the trace, as deltas, plus the canonical end state.
+type shardInterval struct {
+	end             int // global record index (exclusive)
+	stats           mmu.Stats
+	actions         [5]uint64
+	distanceChanges uint64
+	fullFlushes     uint64
+	entryShootdowns uint64
+	samples         []shardSample
+	state           []byte // canonical simulator state at interval end
+}
+
+// simState is one live simulator: an MMU bound to its private process.
+type simState struct {
+	m    mmu.MMU
+	proc *osmem.Process
+}
+
+func (s simState) canonical() []byte {
+	dst := s.proc.AppendCanonical(make([]byte, 0, 4096))
+	return s.m.(mmu.ShardState).AppendCanonical(dst)
+}
+
+func (s simState) clone() simState {
+	proc := s.proc.Clone()
+	return simState{m: s.m.(mmu.ShardState).CloneFor(proc), proc: proc}
+}
+
+// shardSeg is one trace segment and its latest accepted replay.
+type shardSeg struct {
+	lo, hi    int
+	grid      []int // interval end positions, ascending; last == hi
+	entering  []byte
+	intervals []shardInterval
+	end       simState // live objects canonically equal to lastState()
+}
+
+func (s *shardSeg) lastState() []byte { return s.intervals[len(s.intervals)-1].state }
+
+// shardEngine carries the immutable per-run inputs shared by all segment
+// replays.
+type shardEngine struct {
+	cfg     Config
+	recs    []trace.Record
+	bounds  []int // epoch boundary positions (record index after the crossing record)
+	dynamic bool
+	anchors bool
+	probe   bool
+}
+
+// driveSharded is the shard-parallel counterpart of drive; run selects it
+// when cfg.Shards > 1 and the scheme supports state cloning. It matches
+// driveFunc so the equivalence suite can hold it against driveSerial.
+func driveSharded(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Result) {
+	records := trace.DrainSource(src)
+	shards := cfg.Shards
+	if shards > maxShards {
+		shards = maxShards
+	}
+	if !mmu.Shardable(m, cfg.HW) || shards <= 1 || len(records) < 2*shards {
+		drive(m, proc, trace.NewSliceSource(records), cfg, res)
+		return
+	}
+
+	anchors := cfg.Scheme.Policy().Anchors
+	eng := &shardEngine{
+		cfg:     cfg,
+		recs:    records,
+		dynamic: anchors && cfg.FixedDistance == 0,
+		anchors: anchors,
+		probe:   cfg.Probe != nil,
+	}
+	if eng.dynamic || eng.probe {
+		var since uint64
+		for i := range records {
+			since += uint64(records[i].Instrs)
+			if since >= cfg.EpochInstructions {
+				eng.bounds = append(eng.bounds, i+1)
+				since = 0
+			}
+		}
+	}
+
+	segs := eng.partition(shards)
+	orig := simState{m: m, proc: proc}
+
+	// Capture the original process counters before any replay touches
+	// them: the merge recombines per-interval deltas on top of these.
+	baseDistCh := proc.DistanceChanges()
+	baseFlush := proc.FullFlushes()
+	baseShoot := proc.EntryShootdowns()
+
+	initCanon := orig.canonical()
+
+	// Round 1: clone the installed state for every segment but the first
+	// (which replays the exact prefix on the original simulator), then run
+	// all segments in parallel.
+	states := make([]simState, len(segs))
+	states[0] = orig
+	for k := 1; k < len(segs); k++ {
+		states[k] = orig.clone()
+		segs[k].entering = initCanon
+	}
+	segs[0].entering = initCanon
+	eng.runRound(segs, states, nil)
+
+	// Fixpoint: re-run segments whose entering state no longer matches
+	// their predecessor's end state. Segment 0 is exact from round 1 and
+	// never re-runs; each later segment becomes exact once its entering
+	// state equals its (exact) predecessor's end state, so the loop
+	// terminates after at most len(segs) rounds.
+	for {
+		var stale []int
+		for k := 1; k < len(segs); k++ {
+			if !bytes.Equal(segs[k-1].lastState(), segs[k].entering) {
+				stale = append(stale, k)
+			}
+		}
+		if len(stale) == 0 {
+			break
+		}
+		states = make([]simState, len(segs))
+		for _, k := range stale {
+			// Clones are taken serially before the round launches: end
+			// states are never mutated after their run, so cloning from a
+			// predecessor that is itself about to re-run reads only its
+			// previous-round objects.
+			states[k] = segs[k-1].end.clone()
+			segs[k].entering = segs[k-1].lastState()
+		}
+		eng.runRound(segs, states, stale)
+	}
+
+	eng.merge(segs, res, baseDistCh, baseFlush, baseShoot)
+}
+
+// partition cuts the trace into shard segments: the mandatory warmup cut
+// (the serial drive snapshots warm stats exactly there) plus near-even
+// cuts snapped to epoch boundaries when one is close.
+func (e *shardEngine) partition(shards int) []*shardSeg {
+	n := len(e.recs)
+	cutSet := map[int]struct{}{}
+	if w := e.cfg.WarmupAccesses; w > 0 && w <= uint64(n) {
+		if int(w) > 0 && int(w) < n {
+			cutSet[int(w)] = struct{}{}
+		}
+	}
+	span := n / shards
+	for k := 1; k < shards; k++ {
+		cut := k * span
+		// Snap to the nearest epoch boundary when one is within half a
+		// segment, keeping segments epoch-aligned wherever the trace
+		// allows it.
+		if len(e.bounds) > 0 {
+			i := sort.SearchInts(e.bounds, cut)
+			best := -1
+			if i < len(e.bounds) {
+				best = e.bounds[i]
+			}
+			if i > 0 && (best == -1 || cut-e.bounds[i-1] < best-cut) {
+				best = e.bounds[i-1]
+			}
+			if best > 0 && best < n && abs(best-cut) <= span/2 {
+				cut = best
+			}
+		}
+		if cut > 0 && cut < n {
+			cutSet[cut] = struct{}{}
+		}
+	}
+	cuts := make([]int, 0, len(cutSet)+1)
+	for c := range cutSet {
+		cuts = append(cuts, c)
+	}
+	sort.Ints(cuts)
+	cuts = append(cuts, n)
+
+	segs := make([]*shardSeg, 0, len(cuts))
+	lo := 0
+	for _, hi := range cuts {
+		if hi <= lo {
+			continue
+		}
+		seg := &shardSeg{lo: lo, hi: hi}
+		// Interval grid: ~8 splice points per segment, never finer than a
+		// quarter batch (state capture must stay a rounding error).
+		c := (hi - lo + 7) / 8
+		if c < batchRecords/4 {
+			c = batchRecords / 4
+		}
+		for p := lo + c; p < hi; p += c {
+			seg.grid = append(seg.grid, p)
+		}
+		seg.grid = append(seg.grid, hi)
+		segs = append(segs, seg)
+		lo = hi
+	}
+	return segs
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// runRound replays the given segments in parallel (all of them when stale
+// is nil). states[k] holds each replayed segment's entering simulator.
+func (e *shardEngine) runRound(segs []*shardSeg, states []simState, stale []int) {
+	if stale == nil {
+		stale = make([]int, len(segs))
+		for k := range segs {
+			stale[k] = k
+		}
+	}
+	type outcome struct {
+		intervals []shardInterval
+		completed bool
+	}
+	outs := make([]outcome, len(segs))
+	var wg sync.WaitGroup
+	for _, k := range stale {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ivs, completed := e.runSegment(states[k], segs[k], segs[k].intervals)
+			outs[k] = outcome{intervals: ivs, completed: completed}
+		}(k)
+	}
+	wg.Wait()
+	for _, k := range stale {
+		segs[k].intervals = outs[k].intervals
+		if outs[k].completed {
+			segs[k].end = states[k]
+		}
+		// On an early merge the previous end objects stay: they are
+		// canonically equal to the (unchanged) segment end state.
+	}
+}
+
+// runSegment replays seg's records on st, recording per-interval deltas.
+// When prev holds a previous replay of the same segment and the canonical
+// state at an interval boundary matches it, the remaining intervals are
+// adopted from prev and the replay stops (completed=false: the caller
+// keeps the previous end objects).
+func (e *shardEngine) runSegment(st simState, seg *shardSeg, prev []shardInterval) ([]shardInterval, bool) {
+	vpns := make([]mem.VPN, batchRecords)
+	intervals := make([]shardInterval, 0, len(seg.grid))
+	// First epoch boundary strictly inside the segment: a boundary
+	// exactly at lo fired in the predecessor segment.
+	bi := sort.SearchInts(e.bounds, seg.lo+1)
+
+	counter := simCounters{}
+	pos := seg.lo
+	for gi, b := range seg.grid {
+		counter.reset(st)
+		var samples []shardSample
+		for pos < b {
+			end := b
+			if bi < len(e.bounds) && e.bounds[bi] < end {
+				end = e.bounds[bi]
+			}
+			translateRange(st.m, e.recs[pos:end], vpns)
+			pos = end
+			if bi < len(e.bounds) && pos == e.bounds[bi] {
+				if e.dynamic {
+					st.proc.Reselect(e.cfg.SweepCost)
+				}
+				if e.probe {
+					var d uint64
+					if e.anchors {
+						d = st.proc.AnchorDistance()
+					}
+					samples = append(samples, shardSample{
+						bound: pos,
+						ord:   bi + 1,
+						stats: subStats(st.m.Stats(), counter.stats),
+						dist:  d,
+					})
+				}
+				bi++
+			}
+		}
+		iv := counter.delta(st)
+		iv.end = b
+		iv.samples = samples
+		iv.state = st.canonical()
+		intervals = append(intervals, iv)
+		if gi < len(prev) && prev[gi].end == b && bytes.Equal(iv.state, prev[gi].state) {
+			// The replay has converged onto the previous trajectory:
+			// everything from here on replays identically, so adopt it.
+			intervals = append(intervals, prev[gi+1:]...)
+			return intervals, false
+		}
+	}
+	return intervals, true
+}
+
+// simCounters snapshots a simulator's cumulative counters at an interval
+// entry so the interval's outputs can be extracted as deltas.
+type simCounters struct {
+	stats           mmu.Stats
+	actions         [5]uint64
+	distanceChanges uint64
+	fullFlushes     uint64
+	entryShootdowns uint64
+}
+
+func (c *simCounters) reset(st simState) {
+	c.stats = st.m.Stats()
+	if ac, ok := st.m.(mmu.ActionCounter); ok {
+		c.actions = ac.ActionCounts()
+	}
+	c.distanceChanges = st.proc.DistanceChanges()
+	c.fullFlushes = st.proc.FullFlushes()
+	c.entryShootdowns = st.proc.EntryShootdowns()
+}
+
+func (c *simCounters) delta(st simState) shardInterval {
+	iv := shardInterval{
+		stats:           subStats(st.m.Stats(), c.stats),
+		distanceChanges: st.proc.DistanceChanges() - c.distanceChanges,
+		fullFlushes:     st.proc.FullFlushes() - c.fullFlushes,
+		entryShootdowns: st.proc.EntryShootdowns() - c.entryShootdowns,
+	}
+	if ac, ok := st.m.(mmu.ActionCounter); ok {
+		now := ac.ActionCounts()
+		for i := range now {
+			iv.actions[i] = now[i] - c.actions[i]
+		}
+	}
+	return iv
+}
+
+// translateRange pushes one record slice through the MMU in cache-sized
+// batches. This is the shard engine's per-record path: the VPN copy and
+// TranslateBatch call are the only work per access, with no allocation.
+func translateRange(m mmu.MMU, recs []trace.Record, vpns []mem.VPN) {
+	//tlbvet:hotpath
+	for off := 0; off < len(recs); {
+		c := len(recs) - off
+		if c > batchRecords {
+			c = batchRecords
+		}
+		for i := 0; i < c; i++ {
+			vpns[i] = recs[off+i].VPN
+		}
+		m.TranslateBatch(vpns[:c])
+		off += c
+	}
+}
+
+// merge recombines per-interval deltas in trace order: cumulative stats
+// prefixes reproduce the serial drive's warm snapshot and probe samples
+// exactly, and the final counters are adopted back into the original
+// process so run() reads the same end state the serial drive leaves.
+func (e *shardEngine) merge(segs []*shardSeg, res *Result, baseDistCh, baseFlush, baseShoot uint64) {
+	n := len(e.recs)
+	prefixInstr := make([]uint64, n+1)
+	for i := range e.recs {
+		prefixInstr[i+1] = prefixInstr[i] + uint64(e.recs[i].Instrs)
+	}
+
+	warmCut := -1
+	if w := e.cfg.WarmupAccesses; w > 0 && w <= uint64(n) {
+		warmCut = int(w)
+	}
+
+	var prefix, warm mmu.Stats
+	var warmInstr uint64
+	var actions [5]uint64
+	var dch, ffl, esh uint64
+	hasActions := false
+	orig := segs[0].end
+	if _, ok := orig.m.(mmu.ActionCounter); ok {
+		hasActions = true
+	}
+	for _, seg := range segs {
+		for _, iv := range seg.intervals {
+			if e.probe {
+				for _, s := range iv.samples {
+					e.cfg.Probe(ProbeSample{
+						Epoch:          s.ord,
+						Instructions:   prefixInstr[s.bound],
+						Stats:          addStats(prefix, s.stats),
+						AnchorDistance: s.dist,
+					})
+				}
+			}
+			prefix = addStats(prefix, iv.stats)
+			for i := range actions {
+				actions[i] += iv.actions[i]
+			}
+			dch += iv.distanceChanges
+			ffl += iv.fullFlushes
+			esh += iv.entryShootdowns
+			if iv.end == warmCut {
+				warm = prefix
+				warmInstr = prefixInstr[warmCut]
+			}
+		}
+	}
+
+	res.Stats = subStats(prefix, warm)
+	res.Instructions = prefixInstr[n] - warmInstr
+	if hasActions {
+		out := make(map[core.L2Action]uint64, len(actions))
+		for a, v := range actions {
+			out[core.L2Action(a)] = v
+		}
+		res.AnchorActions = out
+	}
+
+	// The original process object must read as if it ran the whole trace:
+	// final distance from the exact final simulator, counters from the
+	// ordered delta sum.
+	final := segs[len(segs)-1].end
+	origProc := segs[0].end.proc
+	origProc.AdoptReplayState(final.proc.AnchorDistance(), baseDistCh+dch, baseFlush+ffl, baseShoot+esh)
+}
+
+// addStats is the merge's inverse of subStats.
+func addStats(a, b mmu.Stats) mmu.Stats {
+	a.Accesses += b.Accesses
+	a.L1Hits += b.L1Hits
+	a.L2RegularHits += b.L2RegularHits
+	a.CoalescedHits += b.CoalescedHits
+	a.Walks += b.Walks
+	a.Faults += b.Faults
+	a.Cycles += b.Cycles
+	return a
+}

@@ -87,6 +87,14 @@ type Config struct {
 	// snapshot of the run. Purely observational: it never changes
 	// results, and the sweep engine excludes it from cache keys.
 	Probe Probe
+
+	// Shards splits the drive into that many trace segments replayed by
+	// parallel simulators (see shard.go). Results are byte-identical to
+	// the serial drive for every scheme — the equivalence suite holds
+	// them together — so the sweep engine excludes Shards from cache
+	// keys, like Probe. Values <= 1 (and configs the shard engine cannot
+	// serve, e.g. DetailedWalk) run the regular batched drive.
+	Shards int
 }
 
 // WithDefaults returns the config with every zero field replaced by its
@@ -199,7 +207,18 @@ func (r Result) L2Breakdown() (regular, coalesced, miss float64) {
 type driveFunc func(m mmu.MMU, proc *osmem.Process, src trace.Source, cfg Config, res *Result)
 
 // Run executes one simulation.
-func Run(cfg Config) (Result, error) { return run(cfg, drive) }
+func Run(cfg Config) (Result, error) { return run(cfg, driveFor(cfg)) }
+
+// driveFor selects the drive implementation for a config: the
+// shard-parallel engine when sharding was requested, the batched drive
+// otherwise. driveSharded itself falls back to drive for configs it
+// cannot serve, so selection here only needs the shard count.
+func driveFor(cfg Config) driveFunc {
+	if cfg.Shards > 1 {
+		return driveSharded
+	}
+	return drive
+}
 
 func run(cfg Config, driveFn driveFunc) (Result, error) {
 	cfg = cfg.withDefaults()
@@ -246,7 +265,10 @@ func run(cfg Config, driveFn driveFunc) (Result, error) {
 	res.DistanceChanges = proc.DistanceChanges()
 	if am, ok := m.(interface {
 		Actions() map[core.L2Action]uint64
-	}); ok {
+	}); ok && res.AnchorActions == nil {
+		// The shard engine fills AnchorActions itself (the original MMU
+		// only replayed the first segment, so its live counters are
+		// partial); only a full serial drive reads them off the MMU here.
 		res.AnchorActions = am.Actions()
 	}
 	return res, nil

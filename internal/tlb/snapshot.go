@@ -1,0 +1,127 @@
+package tlb
+
+import "encoding/binary"
+
+// Shard-replay support: deep clones (so per-shard simulators own private
+// TLB state) and canonical state serialization (so the shard engine can
+// decide whether two simulator states will behave identically from here
+// on, without being confused by representation details that carry no
+// behavioural weight).
+
+// Clone returns a deep copy of the cache sharing no storage with c.
+func (c *Cache) Clone() *Cache {
+	return &Cache{
+		sets:    c.sets,
+		ways:    c.ways,
+		keys:    append([]uint64(nil), c.keys...),
+		lrus:    append([]uint64(nil), c.lrus...),
+		entries: append([]Entry(nil), c.entries...),
+		clock:   c.clock,
+	}
+}
+
+// AppendCanonical appends a canonical serialization of the cache's
+// behaviour-relevant state to dst and returns the extended slice.
+//
+// Two caches with equal canonical bytes behave identically under any
+// future operation sequence, and two caches that behave identically
+// converge to equal canonical bytes. That requires erasing two
+// representation details:
+//
+//   - Absolute LRU clock values: victim selection only compares stamps
+//     within one set, and every future stamp exceeds every existing one,
+//     so only the per-set recency ORDER matters. Entries are emitted in
+//     recency order (oldest first) instead of with their stamps.
+//   - Way positions: lookups match by key and each live key appears in at
+//     most one way of its set (page/anchor tags are unique by
+//     construction; cluster entries of one block with different physical
+//     bases have disjoint bitmaps and distinct replacement keys), so
+//     which way holds an entry never influences hits, victims, or stats.
+//     Two simulators replaying the same accesses from different histories
+//     converge on contents and recency but essentially never on way
+//     placement — dropping positions is what lets the shard fixpoint
+//     detect that convergence.
+func (c *Cache) AppendCanonical(dst []byte) []byte {
+	var fixed [64]int
+	ord := fixed[:]
+	if c.ways > len(fixed) {
+		ord = make([]int, c.ways)
+	}
+	for s := 0; s < c.sets; s++ {
+		base := s * c.ways
+		n := 0
+		for w := 0; w < c.ways; w++ {
+			if c.lrus[base+w] == 0 {
+				continue
+			}
+			// Insertion sort by stamp: oldest first. Stamps are unique
+			// (the clock increments before every stamp).
+			i := n
+			for i > 0 && c.lrus[base+ord[i-1]] > c.lrus[base+w] {
+				ord[i] = ord[i-1]
+				i--
+			}
+			ord[i] = w
+			n++
+		}
+		dst = append(dst, byte(n))
+		for i := 0; i < n; i++ {
+			w := base + ord[i]
+			dst = binary.LittleEndian.AppendUint64(dst, c.keys[w])
+			dst = appendEntry(dst, c.entries[w])
+		}
+	}
+	return dst
+}
+
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(e.VPNBase))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(e.PFNBase))
+	dst = binary.LittleEndian.AppendUint64(dst, e.Contig)
+	return append(dst, byte(e.Kind), e.Bitmap)
+}
+
+// Clone returns a deep copy of the range TLB sharing no storage with t.
+func (t *RangeTLB) Clone() *RangeTLB {
+	return &RangeTLB{
+		capacity: t.capacity,
+		lines:    append([]rangeLine(nil), t.lines...),
+		clock:    t.clock,
+	}
+}
+
+// AppendCanonical appends a canonical serialization of the range TLB's
+// state to dst. Unlike Cache, line POSITIONS are preserved: ranges may
+// overlap (CoLT-FA's capped run discovery can produce overlapping runs for
+// the same chunk), lookups scan lines in order and promote the first
+// match, so which line holds a range is behaviour-relevant. Only the
+// absolute clock is erased, by replacing stamps with recency ranks.
+func (t *RangeTLB) AppendCanonical(dst []byte) []byte {
+	// Rank the valid lines by stamp (unique, so ranks are well defined).
+	n := len(t.lines)
+	rank := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		if !t.lines[i].valid {
+			continue
+		}
+		r := uint32(1)
+		for j := 0; j < n; j++ {
+			if t.lines[j].valid && t.lines[j].lru < t.lines[i].lru {
+				r++
+			}
+		}
+		rank[i] = r
+	}
+	for i := 0; i < n; i++ {
+		l := t.lines[i]
+		if !l.valid {
+			dst = append(dst, 0, 0, 0, 0)
+			continue
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, rank[i])
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(l.r.StartVPN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(l.r.StartPFN))
+		dst = binary.LittleEndian.AppendUint64(dst, l.r.Pages)
+	}
+	return dst
+}

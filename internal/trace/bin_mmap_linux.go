@@ -1,0 +1,31 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the bytes plus an unmap func.
+// Empty files cannot be mapped; callers fall back to reading.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

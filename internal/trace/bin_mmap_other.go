@@ -1,0 +1,12 @@
+//go:build !linux
+
+package trace
+
+import "errors"
+
+var errNoMmap = errors.New("trace: mmap not supported on this platform")
+
+// mmapFile is unavailable off Linux; OpenBin falls back to os.ReadFile.
+func mmapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

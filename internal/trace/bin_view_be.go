@@ -1,0 +1,7 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mipsle || mips64le || wasm)
+
+package trace
+
+// castRecords is disabled on big-endian (or unvetted) platforms; NewBin
+// decodes records field by field instead.
+func castRecords(body []byte) []Record { return nil }

@@ -1,0 +1,28 @@
+//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mipsle || mips64le || wasm
+
+package trace
+
+import "unsafe"
+
+// Little-endian platforms where the 16-byte on-disk record layout matches
+// the in-memory layout of Record, so a validated trace body can be viewed
+// as []Record without decoding.
+
+// castRecords reinterprets a record body as a []Record view, or returns
+// nil when the platform/layout makes that unsafe (misalignment, or an
+// unexpected struct layout).
+func castRecords(body []byte) []Record {
+	if len(body) == 0 || len(body)%binRecordSize != 0 {
+		return nil
+	}
+	if unsafe.Sizeof(Record{}) != binRecordSize ||
+		unsafe.Offsetof(Record{}.Instrs) != 8 ||
+		unsafe.Offsetof(Record{}.Write) != 12 {
+		return nil
+	}
+	p := unsafe.Pointer(&body[0])
+	if uintptr(p)%unsafe.Alignof(Record{}) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*Record)(p), len(body)/binRecordSize)
+}

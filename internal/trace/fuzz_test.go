@@ -70,6 +70,110 @@ func FuzzReaderRobustness(f *testing.F) {
 	})
 }
 
+// FuzzBinCrossCodecEquivalence writes the same fuzzed records through the
+// varint v1 codec and the fixed-width bin codec and demands both decode
+// back to the identical record stream: the bin round-trip is exactly the
+// existing record stream, byte for byte of every field.
+func FuzzBinCrossCodecEquivalence(f *testing.F) {
+	f.Add(uint64(0x10000), uint32(4), true, uint64(0x10001), uint32(7), false, uint8(3))
+	f.Add(uint64(0), uint32(0), false, uint64(1<<47), uint32(1<<30), true, uint8(0))
+	f.Add(uint64(1<<47), uint32(1), false, uint64(0), uint32(2), false, uint8(9))
+	f.Fuzz(func(t *testing.T, v1 uint64, i1 uint32, w1 bool, v2 uint64, i2 uint32, w2 bool, repeat uint8) {
+		base := []Record{
+			{VPN: mem.VPN(v1 & (1<<47 - 1)), Instrs: i1, Write: w1},
+			{VPN: mem.VPN(v2 & (1<<47 - 1)), Instrs: i2, Write: w2},
+		}
+		var recs []Record
+		for i := 0; i <= int(repeat%13); i++ {
+			recs = append(recs, Record{
+				VPN:    base[i%2].VPN + mem.VPN(i),
+				Instrs: base[i%2].Instrs,
+				Write:  base[i%2].Write != (i%5 == 0),
+			})
+		}
+
+		var v1buf bytes.Buffer
+		vw, err := NewWriter(&v1buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var binbuf bytes.Buffer
+		bw, err := NewBinWriter(&binbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := vw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+			if err := bw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := vw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		vr, err := NewReader(&v1buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := NewBin(binbuf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Len() != len(recs) {
+			t.Fatalf("bin Len = %d, want %d", br.Len(), len(recs))
+		}
+		for i := range recs {
+			vrec, vok := vr.Next()
+			brec, bok := br.Next()
+			if !vok || !bok {
+				t.Fatalf("record %d: v1 ok=%v bin ok=%v (v1 err %v)", i, vok, bok, vr.Err())
+			}
+			if vrec != brec || brec != recs[i] {
+				t.Fatalf("record %d: v1 %+v, bin %+v, want %+v", i, vrec, brec, recs[i])
+			}
+		}
+		if _, ok := vr.Next(); ok {
+			t.Fatal("v1 stream has extra records")
+		}
+		if _, ok := br.Next(); ok {
+			t.Fatal("bin stream has extra records")
+		}
+	})
+}
+
+// FuzzBinRobustness feeds arbitrary bytes to the bin parser: it must never
+// panic, only produce a valid source or an error, and any accepted image
+// must decode without panicking.
+func FuzzBinRobustness(f *testing.F) {
+	f.Add([]byte("HTLBTRB2"))
+	f.Add([]byte("HTLBTRB2\x01\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add(append([]byte("HTLBTRB2\x01\x00\x00\x00\x00\x00\x00\x00"), make([]byte, 8+16)...))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := NewBin(data)
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			if _, ok := b.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != b.Len() {
+			t.Fatalf("decoded %d records from an image reporting Len %d", n, b.Len())
+		}
+	})
+}
+
 // FuzzReadBatchEquivalence feeds arbitrary bytes — valid traces and
 // corrupt ones alike — to two readers over the same stream and demands
 // that ReadBatch, driven with a fuzzed slice size, yields exactly the

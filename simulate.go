@@ -3,7 +3,6 @@ package hybridtlb
 import (
 	"context"
 	"fmt"
-	"os"
 
 	"hybridtlb/internal/core"
 	"hybridtlb/internal/mapping"
@@ -79,6 +78,11 @@ type SimulationConfig struct {
 	// never changes the result — and excluded from sweep result-cache
 	// keys, so a config served from the cache fires no samples.
 	Probe func(EpochSample) `json:"-"`
+	// Shards > 1 splits the run across that many parallel shard
+	// simulators with byte-identical results (the equivalence suite
+	// holds shard-parallel against serial for every scheme). Like Probe
+	// it never changes results, so it is excluded from sweep cache keys.
+	Shards int
 }
 
 // EpochSample is one epoch-boundary observation delivered to a
@@ -175,6 +179,7 @@ func (cfg SimulationConfig) toSimConfig() (sim.Config, mmu.Config, error) {
 		CostModel:          costModel,
 		MultiRegionAnchors: cfg.MultiRegionAnchors,
 		Probe:              probe,
+		Shards:             cfg.Shards,
 	}, hw, nil
 }
 
@@ -206,18 +211,17 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 	}
 	var res sim.Result
 	if cfg.TracePath != "" {
-		f, ferr := os.Open(cfg.TracePath)
-		if ferr != nil {
-			return SimulationResult{}, ferr
+		// OpenPath detects the trace format by magic: the varint v1
+		// stream gets a decoding Reader, the fixed-width binary format a
+		// zero-copy (mmap-backed where available) record view.
+		src, closeSrc, oerr := trace.OpenPath(cfg.TracePath)
+		if oerr != nil {
+			return SimulationResult{}, oerr
 		}
-		defer f.Close()
-		r, rerr := trace.NewReader(f)
-		if rerr != nil {
-			return SimulationResult{}, rerr
-		}
-		res, err = sim.RunTrace(simCfg, r)
-		if err == nil && r.Err() != nil {
-			err = r.Err()
+		defer closeSrc()
+		res, err = sim.RunTrace(simCfg, src)
+		if e, ok := src.(interface{ Err() error }); ok && err == nil && e.Err() != nil {
+			err = e.Err()
 		}
 	} else {
 		res, err = sim.Run(simCfg)
